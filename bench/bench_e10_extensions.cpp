@@ -1,0 +1,89 @@
+/// Experiment E10 — the §1.6 extensions: energy-metric spanners (ext. 2),
+/// the power-cost measure (ext. 3) and fault tolerance (ext. 1).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "ext/energy.hpp"
+#include "ext/fault_tolerant.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+
+using namespace localspan;
+using benchutil::fmt;
+using benchutil::fmt_int;
+
+int main() {
+  std::printf("E10: section 1.6 extensions. n=384, alpha=0.75, d=2, seed=10\n");
+  const auto inst = benchutil::standard_instance(384, 0.75, 10);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+
+  // --- Energy spanners: run the relaxed algorithm under c·len^gamma weights
+  // and evaluate against the energy-reweighted input graph.
+  benchutil::Table energy({"gamma", "energy stretch", "within t=1.5", "max deg",
+                           "power/maxpower", "edges/n"});
+  for (double gamma : {1.0, 2.0, 3.0}) {
+    core::RelaxedGreedyOptions opts;
+    opts.weight_transform = ext::energy_transform(1.0, gamma);
+    const auto result = core::relaxed_greedy(inst, params, opts);
+    const graph::Graph reference = ext::energy_reweight(inst, inst.g, 1.0, gamma);
+    const double stretch = graph::max_edge_stretch(reference, result.spanner);
+    energy.add_row({fmt(gamma, 1), fmt(stretch, 4),
+                    stretch <= params.t * (1.0 + 1e-9) ? "yes" : "NO",
+                    fmt_int(result.spanner.max_degree()),
+                    fmt(graph::power_cost(result.spanner) / graph::power_cost(reference), 3),
+                    fmt(static_cast<double>(result.spanner.m()) / inst.g.n(), 2)});
+  }
+  energy.print("E10a: energy spanners (weights c*len^gamma) keep all guarantees");
+
+  // --- Fault tolerance: build k-edge-FT greedy spanners and subject each to
+  // random edge faults; report worst observed post-fault stretch over trials.
+  benchutil::Table ft({"k", "edges/n", "lightness", "faults injected",
+                       "worst post-fault stretch (cap 64)", "components preserved"});
+  const double t = 1.5;
+  for (int k : {0, 1, 2}) {
+    const graph::Graph spanner = ext::fault_tolerant_greedy(inst.g, t, k);
+    double worst = 1.0;
+    bool connectivity = true;
+    for (std::uint64_t trial = 0; trial < 8; ++trial) {
+      std::vector<graph::Edge> removed;
+      // Fault the spanner and the reference identically.
+      graph::Graph faulted_spanner = spanner;
+      graph::Graph faulted_g = inst.g;
+      const graph::Graph tmp = ext::inject_edge_faults(spanner, k, 100 + trial, &removed);
+      faulted_spanner = tmp;
+      for (const graph::Edge& e : removed) faulted_g.remove_edge(e.u, e.v);
+      worst = std::max(worst, graph::max_edge_stretch(faulted_g, faulted_spanner));
+      connectivity = connectivity && graph::connected_components(faulted_g).count ==
+                                         graph::connected_components(faulted_spanner).count;
+    }
+    ft.add_row({fmt_int(k), fmt(static_cast<double>(spanner.m()) / inst.g.n(), 2),
+                fmt(graph::lightness(inst.g, spanner), 3), fmt_int(k),
+                fmt(worst, 4), connectivity ? "yes" : "NO"});
+  }
+  ft.print("E10b: k-edge fault tolerance (k faults leave a t-spanner of the survivor graph)");
+
+  // --- Vertex-fault variant: stronger guarantee, denser output. Subject the
+  // k=1 backbone to single-vertex faults and report the worst stretch.
+  benchutil::Table vft({"k", "edges/n (vertex FT)", "edges/n (edge FT)",
+                        "worst stretch under 1 vertex fault (sampled)"});
+  for (int k : {0, 1}) {
+    const graph::Graph vspan = ext::fault_tolerant_greedy_vertex(inst.g, t, k);
+    const graph::Graph espan = ext::fault_tolerant_greedy(inst.g, t, k);
+    double worst = 1.0;
+    for (int victim = 0; victim < inst.g.n(); victim += 23) {
+      graph::Graph fs = vspan;
+      graph::Graph fg = inst.g;
+      for (graph::Graph* g2 : {&fs, &fg}) {
+        std::vector<int> nbrs;
+        for (const graph::Neighbor& nb : g2->neighbors(victim)) nbrs.push_back(nb.to);
+        for (int to : nbrs) g2->remove_edge(victim, to);
+      }
+      worst = std::max(worst, graph::max_edge_stretch(fg, fs));
+    }
+    vft.add_row({fmt_int(k), fmt(static_cast<double>(vspan.m()) / inst.g.n(), 2),
+                 fmt(static_cast<double>(espan.m()) / inst.g.n(), 2), fmt(worst, 4)});
+  }
+  vft.print("E10c: k-vertex fault tolerance (k=1 bounds stretch under any single node failure)");
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// Experiment E11 — the phase/bin structure of §2 and the edge funnel:
+/// per bin, how many edges arrive, how many the θ-cone filter covers
+/// (Lemma 3, Fig 1), how many candidates survive, how many become the unique
+/// per-cluster-pair query edges, how many get added, and how many the
+/// redundancy MIS removes. Also the m = O(log n) bin-count scaling.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/relaxed_greedy.hpp"
+
+using namespace localspan;
+using benchutil::fmt;
+using benchutil::fmt_int;
+
+int main() {
+  std::printf("E11: phase structure. eps=0.5, alpha=0.75, d=2, uniform, seed=11\n");
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+
+  benchutil::Table scaling({"n", "total bins (m+1)", "nonempty bins", "phase-0 comps",
+                            "covered total", "candidates total", "queries total",
+                            "added total", "removed total"});
+  for (int n : {128, 256, 512, 1024, 2048, 4096}) {
+    const auto inst = benchutil::standard_instance(n, 0.75, 11);
+    const auto result = core::relaxed_greedy(inst, params);
+    long long covered = 0;
+    long long cands = 0;
+    long long queries = 0;
+    long long added = 0;
+    long long removed = 0;
+    for (const core::PhaseStats& st : result.phases) {
+      covered += st.covered;
+      cands += st.candidates;
+      queries += st.queries;
+      added += st.added;
+      removed += st.removed;
+    }
+    scaling.add_row({fmt_int(n), fmt_int(result.total_bins), fmt_int(result.nonempty_bins),
+                     fmt_int(result.phase0_components), fmt_int(covered), fmt_int(cands),
+                     fmt_int(queries), fmt_int(added), fmt_int(removed)});
+  }
+  scaling.print("E11: m = O(log n) bins; the covered/query funnel trims most edges");
+
+  // Full per-phase funnel at one size.
+  const auto inst = benchutil::standard_instance(1024, 0.75, 11);
+  const auto result = core::relaxed_greedy(inst, params);
+  benchutil::Table funnel({"bin", "W_lo", "W_hi", "|E_i|", "in spanner", "covered",
+                           "candidates", "queries", "added", "removed", "clusters"});
+  for (const core::PhaseStats& st : result.phases) {
+    funnel.add_row({fmt_int(st.bin), fmt(st.w_lo, 4), fmt(st.w_hi, 4), fmt_int(st.edges_in_bin),
+                    fmt_int(st.already_in_spanner), fmt_int(st.covered), fmt_int(st.candidates),
+                    fmt_int(st.queries), fmt_int(st.added), fmt_int(st.removed),
+                    fmt_int(st.clusters)});
+  }
+  funnel.print("E11b: per-phase funnel at n=1024 (lazy updates once per bin)");
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// Experiment E12 (part 1) — sequential running-time scaling, the
+/// Das–Narasimhan acceleration story of §1.4: naive SEQ-GREEDY re-runs a
+/// bounded Dijkstra per edge on the growing spanner, while the relaxed
+/// algorithm answers each bin's queries on the O(1)-hop cluster graph.
+/// google-benchmark timings over an n sweep; the ablation table lives in
+/// bench_e12b_ablation.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/distributed.hpp"
+#include "core/greedy.hpp"
+#include "core/relaxed_greedy.hpp"
+
+using namespace localspan;
+
+namespace {
+
+const ubg::UbgInstance& cached_instance(int n) {
+  static std::map<int, ubg::UbgInstance> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, benchutil::standard_instance(n, 0.75, 12)).first;
+  }
+  return it->second;
+}
+
+void BM_SeqGreedy(benchmark::State& state) {
+  const auto& inst = cached_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::seq_greedy(inst.g, 1.5));
+  }
+  state.counters["m"] = static_cast<double>(inst.g.m());
+}
+
+void BM_RelaxedPractical(benchmark::State& state) {
+  const auto& inst = cached_instance(static_cast<int>(state.range(0)));
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::relaxed_greedy(inst, params));
+  }
+}
+
+void BM_RelaxedStrict(benchmark::State& state) {
+  const auto& inst = cached_instance(static_cast<int>(state.range(0)));
+  const core::Params params = core::Params::strict_params(0.5, 0.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::relaxed_greedy(inst, params));
+  }
+}
+
+void BM_Distributed(benchmark::State& state) {
+  const auto& inst = cached_instance(static_cast<int>(state.range(0)));
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  for (auto _ : state) {
+    const auto result = core::distributed_relaxed_greedy(inst, params, {}, 12);
+    benchmark::DoNotOptimize(result.base.spanner.m());
+    state.counters["rounds"] = static_cast<double>(result.net.rounds_measured);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SeqGreedy)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RelaxedPractical)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RelaxedStrict)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Distributed)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

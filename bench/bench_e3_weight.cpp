@@ -1,0 +1,37 @@
+/// Experiment E3 — lightness w(G') = O(w(MST)) (Theorem 13).
+///
+/// The lightness ratio w(G')/w(MSF(G)) must stay bounded as n grows, for
+/// every ε. Any spanner has lightness >= 1, so these numbers are directly
+/// interpretable as "times optimal".
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "graph/metrics.hpp"
+
+using namespace localspan;
+using benchutil::fmt;
+using benchutil::fmt_int;
+
+int main() {
+  std::printf("E3: lightness vs n and eps (Theorem 13). alpha=0.75, d=2, uniform, seed=3\n");
+  benchutil::Table table({"n", "eps=0.25", "eps=0.5", "eps=1.0", "strict eps=0.5"});
+  for (int n : {128, 256, 512, 1024, 2048}) {
+    const auto inst = benchutil::standard_instance(n, 0.75, 3);
+    std::vector<std::string> row{fmt_int(n)};
+    for (double eps : {0.25, 0.5, 1.0}) {
+      const auto result =
+          core::relaxed_greedy(inst, core::Params::practical_params(eps, 0.75));
+      row.push_back(fmt(graph::lightness(inst.g, result.spanner), 3));
+    }
+    if (n <= 1024) {
+      const auto result = core::relaxed_greedy(inst, core::Params::strict_params(0.5, 0.75));
+      row.push_back(fmt(graph::lightness(inst.g, result.spanner), 3));
+    } else {
+      row.push_back("-");
+    }
+    table.add_row(row);
+  }
+  table.print("E3: w(G')/w(MSF) stays O(1) in n; smaller eps costs more weight");
+  return 0;
+}

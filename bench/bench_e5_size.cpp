@@ -1,0 +1,36 @@
+/// Experiment E5 — linear size |E'| = O(n) (§1.2).
+///
+/// The spanner's edges-per-node ratio must stay constant as n grows even
+/// though the input α-UBG gets denser in absolute terms.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/relaxed_greedy.hpp"
+
+using namespace localspan;
+using benchutil::fmt;
+using benchutil::fmt_int;
+
+int main() {
+  std::printf("E5: spanner size vs n. eps=0.5, alpha=0.75, d=2, uniform, seed=5\n");
+  const core::Params practical = core::Params::practical_params(0.5, 0.75);
+  const core::Params strict = core::Params::strict_params(0.5, 0.75);
+  benchutil::Table table(
+      {"n", "|E(G)|", "|E(G)|/n", "|E'| practical", "|E'|/n", "|E'| strict", "strict/n"});
+  for (int n : {128, 256, 512, 1024, 2048, 4096}) {
+    const auto inst = benchutil::standard_instance(n, 0.75, 5);
+    const auto result = core::relaxed_greedy(inst, practical);
+    std::string strict_m = "-";
+    std::string strict_ratio = "-";
+    if (n <= 1024) {
+      const auto rs = core::relaxed_greedy(inst, strict);
+      strict_m = fmt_int(rs.spanner.m());
+      strict_ratio = fmt(static_cast<double>(rs.spanner.m()) / n, 2);
+    }
+    table.add_row({fmt_int(n), fmt_int(inst.g.m()),
+                   fmt(static_cast<double>(inst.g.m()) / n, 2), fmt_int(result.spanner.m()),
+                   fmt(static_cast<double>(result.spanner.m()) / n, 2), strict_m, strict_ratio});
+  }
+  table.print("E5: |E'|/n stays constant (linear-size spanner)");
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// Experiment E6 — comparison against classical topology-control baselines
+/// (§1.3: planar backbones [13-15,19], Yao graphs [20], MST, max power).
+///
+/// One UDG workload (alpha=1 so every baseline is well-defined), one row per
+/// topology: the relaxed greedy spanner should be the only construction that
+/// simultaneously has bounded stretch, bounded degree and bounded lightness.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "baseline/gabriel.hpp"
+#include "baseline/rng_graph.hpp"
+#include "baseline/yao.hpp"
+#include "core/distributed.hpp"
+#include "core/greedy.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "graph/metrics.hpp"
+#include "graph/mst.hpp"
+
+using namespace localspan;
+using benchutil::fmt;
+using benchutil::fmt_int;
+
+int main() {
+  std::printf("E6: baseline comparison. n=512, alpha=1.0 (UDG), d=2, uniform, seed=6\n");
+  const auto inst = benchutil::standard_instance(512, 1.0, 6);
+  const double power_max = graph::power_cost(inst.g);
+
+  struct Row {
+    const char* name;
+    graph::Graph g;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"max power (G itself)", inst.g});
+  rows.push_back({"MST", graph::minimum_spanning_forest(inst.g)});
+  rows.push_back({"RNG (XTC [19])", baseline::relative_neighborhood_graph(inst)});
+  rows.push_back({"Gabriel", baseline::gabriel_graph(inst)});
+  rows.push_back({"Yao k=8 [20]", baseline::yao_graph(inst, 8)});
+  rows.push_back({"Theta k=8", baseline::theta_graph(inst, 8)});
+  rows.push_back({"SEQ-GREEDY t=1.5", core::seq_greedy(inst.g, 1.5)});
+  const core::Params practical = core::Params::practical_params(0.5, 1.0);
+  rows.push_back({"relaxed greedy t=1.5", core::relaxed_greedy(inst, practical).spanner});
+  rows.push_back({"distributed t=1.5",
+                  core::distributed_relaxed_greedy(inst, practical, {}, 6).base.spanner});
+  const core::Params strict = core::Params::strict_params(0.5, 1.0);
+  rows.push_back({"relaxed greedy strict t=1.5", core::relaxed_greedy(inst, strict).spanner});
+
+  benchutil::Table table({"topology", "edges", "edges/n", "max deg", "stretch (cap 64)",
+                          "lightness", "power/maxpower"});
+  for (const Row& row : rows) {
+    table.add_row({row.name, fmt_int(row.g.m()),
+                   fmt(static_cast<double>(row.g.m()) / row.g.n(), 2),
+                   fmt_int(row.g.max_degree()), fmt(graph::max_edge_stretch(inst.g, row.g), 3),
+                   fmt(graph::lightness(inst.g, row.g), 3),
+                   fmt(graph::power_cost(row.g) / power_max, 3)});
+  }
+  table.print("E6: only the paper's construction bounds stretch, degree AND weight at once");
+  return 0;
+}

@@ -1,0 +1,31 @@
+/// Experiment E8 — dimension generality d >= 2 (§1.1): the algorithm is
+/// defined for d-dimensional α-UBGs, beyond the "flat world" of UDGs.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "graph/metrics.hpp"
+
+using namespace localspan;
+using benchutil::fmt;
+using benchutil::fmt_int;
+
+int main() {
+  std::printf("E8: dimension sweep. n=384, eps=0.5, alpha=0.7, uniform, seed=8\n");
+  const core::Params params = core::Params::practical_params(0.5, 0.7);
+  benchutil::Table table(
+      {"d", "|E(G)|", "G max deg", "stretch", "within t=1.5", "G' max deg", "lightness",
+       "|E'|/n"});
+  for (int d : {2, 3, 4}) {
+    const auto inst = benchutil::standard_instance(384, 0.7, 8, d);
+    const auto result = core::relaxed_greedy(inst, params);
+    const double stretch = graph::max_edge_stretch(inst.g, result.spanner);
+    table.add_row({fmt_int(d), fmt_int(inst.g.m()), fmt_int(inst.g.max_degree()),
+                   fmt(stretch, 4), stretch <= params.t * (1.0 + 1e-9) ? "yes" : "NO",
+                   fmt_int(result.spanner.max_degree()),
+                   fmt(graph::lightness(inst.g, result.spanner), 3),
+                   fmt(static_cast<double>(result.spanner.m()) / inst.g.n(), 2)});
+  }
+  table.print("E8: guarantees carry to d = 3, 4 (degree constant grows with d, as the theory predicts)");
+  return 0;
+}

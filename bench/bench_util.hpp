@@ -1,0 +1,68 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared helpers for the experiment binaries E1..E12: instance
+/// construction and markdown table printing. Each bench prints the
+/// paper-shaped table documented in DESIGN.md §4 and EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ubg/generator.hpp"
+
+namespace localspan::benchutil {
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_int(long long v) { return std::to_string(v); }
+
+/// Minimal markdown table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(const std::string& title) const {
+    std::printf("\n## %s\n\n", title.c_str());
+    print_row(header_);
+    std::vector<std::string> rule;
+    rule.reserve(header_.size());
+    for (const auto& h : header_) rule.push_back(std::string(std::max<std::size_t>(3, h.size()), '-'));
+    print_row(rule);
+    for (const auto& r : rows_) print_row(r);
+    std::fflush(stdout);
+  }
+
+ private:
+  void print_row(const std::vector<std::string>& cells) const {
+    std::printf("|");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::size_t width = i < header_.size() ? std::max(header_[i].size(), cells[i].size())
+                                                   : cells[i].size();
+      std::printf(" %-*s |", static_cast<int>(width), cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// The standard workload: uniform placement, always-connect gray zone.
+inline ubg::UbgInstance standard_instance(int n, double alpha, std::uint64_t seed, int dim = 2,
+                                          ubg::Placement placement = ubg::Placement::kUniform) {
+  ubg::UbgConfig cfg;
+  cfg.n = n;
+  cfg.alpha = alpha;
+  cfg.dim = dim;
+  cfg.placement = placement;
+  cfg.seed = seed;
+  return ubg::make_ubg(cfg);
+}
+
+}  // namespace localspan::benchutil

@@ -1,0 +1,56 @@
+/// Quickstart: generate a wireless network, run the paper's algorithm, and
+/// inspect the three guarantees.
+///
+///   $ ./examples/quickstart [n] [eps] [alpha]
+///
+/// This is the 60-second tour of the public API:
+///   1. model a wireless deployment as an α-UBG (ubg::make_ubg),
+///   2. derive theorem-faithful parameters from ε (core::Params),
+///   3. build the (1+ε)-spanner (core::relaxed_greedy),
+///   4. measure stretch / degree / lightness (graph::metrics).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/params.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "graph/metrics.hpp"
+#include "ubg/generator.hpp"
+
+using namespace localspan;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 512;
+  const double eps = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const double alpha = argc > 3 ? std::atof(argv[3]) : 0.75;
+
+  // 1. A random wireless network: n radios in a square, link iff distance
+  //    <= alpha (guaranteed) or <= 1 (gray zone, here: optimistic).
+  ubg::UbgConfig cfg;
+  cfg.n = n;
+  cfg.alpha = alpha;
+  cfg.seed = 42;
+  const ubg::UbgInstance net = ubg::make_ubg(cfg);
+  std::printf("network: n=%d radios, %d links, max degree %d, total link length %.1f\n",
+              net.g.n(), net.g.m(), net.g.max_degree(), net.g.total_weight());
+
+  // 2. Parameters satisfying every condition of Theorems 10 and 13.
+  const core::Params params = core::Params::strict_params(eps, alpha);
+  std::printf("params:  %s\n", params.describe().c_str());
+
+  // 3. The topology-control spanner.
+  const core::RelaxedGreedyResult result = core::relaxed_greedy(net, params);
+
+  // 4. The three guarantees, measured.
+  const double stretch = graph::max_edge_stretch(net.g, result.spanner);
+  const graph::DegreeStats deg = graph::degree_stats(result.spanner);
+  const double light = graph::lightness(net.g, result.spanner);
+  std::printf("\nspanner: %d links kept (%.1f%%), %d phases over %d bins\n",
+              result.spanner.m(), 100.0 * result.spanner.m() / net.g.m(),
+              result.nonempty_bins, result.total_bins);
+  std::printf("  stretch   : %.4f  (guarantee: <= %.2f)\n", stretch, params.t);
+  std::printf("  max degree: %d     (guarantee: O(1))\n", deg.max);
+  std::printf("  lightness : %.3f  (guarantee: O(1) x MST weight)\n", light);
+  std::printf("  power cost: %.1f%% of transmitting at max power\n",
+              100.0 * graph::power_cost(result.spanner) / graph::power_cost(net.g));
+  return stretch <= params.t * (1.0 + 1e-9) ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+/// Example: topology control for a 3-D sensor deployment.
+///
+/// The paper's motivation (§1.1) is that real wireless networks are not the
+/// "flat world" of UDGs: nodes sit on different floors of a building and
+/// links in the (α,1] gray zone appear and disappear with obstructions. This
+/// example models a 10-story building as a 3-dimensional α-UBG with a
+/// probabilistic gray zone and compares three operating modes:
+///   * every node at max power (the raw graph),
+///   * the classical XTC/RNG backbone,
+///   * the paper's (1+ε)-spanner.
+#include <cstdio>
+
+#include "baseline/rng_graph.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "ubg/generator.hpp"
+
+using namespace localspan;
+
+namespace {
+
+void report(const char* name, const ubg::UbgInstance& net, const graph::Graph& topo) {
+  const double stretch = graph::max_edge_stretch(net.g, topo);
+  const graph::DegreeStats deg = graph::degree_stats(topo);
+  std::printf("%-28s %6d links  maxdeg %2d  stretch %7.3f  lightness %6.3f  power %5.1f%%\n",
+              name, topo.m(), deg.max, stretch, graph::lightness(net.g, topo),
+              100.0 * graph::power_cost(topo) / graph::power_cost(net.g));
+}
+
+}  // namespace
+
+int main() {
+  // A 3-D deployment: sensors with unstable links (40% of gray-zone pairs
+  // connect, e.g. due to walls and interference).
+  ubg::UbgConfig cfg;
+  cfg.n = 600;
+  cfg.dim = 3;
+  cfg.alpha = 0.6;  // guaranteed range is 60% of max range
+  cfg.target_degree = 14.0;
+  cfg.placement = ubg::Placement::kClustered;  // sensors cluster around hubs
+  cfg.seed = 2026;
+  const auto policy = ubg::probabilistic(0.4, 99);
+  const ubg::UbgInstance net = ubg::make_ubg(cfg, *policy);
+
+  std::printf("3-D clustered sensor network: n=%d, %d links, %d connected components\n\n",
+              net.g.n(), net.g.m(), graph::connected_components(net.g).count);
+
+  report("max power (raw graph)", net, net.g);
+  report("XTC / RNG backbone", net, baseline::relative_neighborhood_graph(net));
+
+  for (double eps : {1.0, 0.5, 0.25}) {
+    const core::Params params = core::Params::practical_params(eps, cfg.alpha);
+    const auto result = core::relaxed_greedy(net, params);
+    char label[64];
+    std::snprintf(label, sizeof(label), "(1+%.2g)-spanner", eps);
+    report(label, net, result.spanner);
+  }
+
+  std::printf(
+      "\nReading: RNG is sparse but has unbounded detours; the spanner dials\n"
+      "stretch to any target while keeping degree and total weight bounded —\n"
+      "on a 3-D quasi-UBG where planar-graph methods do not even apply.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+#pragma once
+/// \file gabriel.hpp
+/// Gabriel graph baseline (the planar-topology family of §1.3: [13][14][15]).
+///
+/// Edge {u,v} of G survives iff no third node lies strictly inside the ball
+/// with diameter uv. Intersected with a UDG this is the classical planar
+/// backbone used for geometric routing; it keeps connectivity and planarity
+/// (d=2) but has unbounded stretch and degree in the worst case — the E6
+/// table quantifies where it loses to the spanner.
+
+#include "graph/graph.hpp"
+#include "ubg/generator.hpp"
+
+namespace localspan::baseline {
+
+[[nodiscard]] graph::Graph gabriel_graph(const ubg::UbgInstance& inst);
+
+}  // namespace localspan::baseline

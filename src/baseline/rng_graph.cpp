@@ -1,0 +1,30 @@
+#include "baseline/rng_graph.hpp"
+
+#include <algorithm>
+
+#include "geom/grid.hpp"
+
+namespace localspan::baseline {
+
+graph::Graph relative_neighborhood_graph(const ubg::UbgInstance& inst) {
+  const int n = inst.g.n();
+  graph::Graph out(n);
+  const geom::Grid grid(inst.points, 1.0);
+  for (const graph::Edge& e : inst.g.edges()) {
+    const geom::Point& pu = inst.points[static_cast<std::size_t>(e.u)];
+    const geom::Point& pv = inst.points[static_cast<std::size_t>(e.v)];
+    const double duv = e.w;
+    bool blocked = false;
+    // A witness has |uw| < |uv| <= 1, so it is grid-reachable from u.
+    grid.for_neighbors_within(e.u, 1.0, [&](int w) {
+      if (blocked || w == e.v) return;
+      const geom::Point& pw = inst.points[static_cast<std::size_t>(w)];
+      const double lune = std::max(geom::distance(pu, pw), geom::distance(pv, pw));
+      if (lune < duv * (1.0 - 1e-12)) blocked = true;
+    });
+    if (!blocked) out.add_edge(e.u, e.v, e.w);
+  }
+  return out;
+}
+
+}  // namespace localspan::baseline

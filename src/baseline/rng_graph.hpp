@@ -1,0 +1,17 @@
+#pragma once
+/// \file rng_graph.hpp
+/// Relative Neighborhood Graph baseline (sparser sibling of the Gabriel
+/// graph; the XTC algorithm of [19] computes exactly this topology).
+///
+/// Edge {u,v} survives iff no witness w has max(|uw|, |vw|) < |uv| — i.e.
+/// nobody is strictly closer to both endpoints than they are to each other.
+/// RNG ⊆ Gabriel; even sparser, even worse stretch. E6 baseline row.
+
+#include "graph/graph.hpp"
+#include "ubg/generator.hpp"
+
+namespace localspan::baseline {
+
+[[nodiscard]] graph::Graph relative_neighborhood_graph(const ubg::UbgInstance& inst);
+
+}  // namespace localspan::baseline

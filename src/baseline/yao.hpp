@@ -1,0 +1,28 @@
+#pragma once
+/// \file yao.hpp
+/// Yao graph baseline (Yao [20], used by the degree proof of Theorem 11).
+///
+/// Around every node the plane is split into k equal cones; the node keeps
+/// an edge to its nearest G-neighbor in each cone. The classical topology-
+/// control baseline: bounded out-degree by construction, stretch
+/// ~1/(cos(2π/k) − sin(2π/k)) on dense UDGs, but no weight guarantee —
+/// exactly the gap the paper's algorithm closes (experiment E6).
+/// Defined here for d = 2 (the classical construction).
+
+#include "graph/graph.hpp"
+#include "ubg/generator.hpp"
+
+namespace localspan::baseline {
+
+/// Build the (symmetrized) Yao graph over the instance's UBG edges: each
+/// node marks its nearest neighbor per cone; an edge survives if either
+/// endpoint marked it. \throws std::invalid_argument unless dim == 2, k >= 3.
+[[nodiscard]] graph::Graph yao_graph(const ubg::UbgInstance& inst, int k);
+
+/// The Θ-graph sibling: per cone, keep the neighbor whose PROJECTION onto
+/// the cone's bisector is nearest (the classical theta-graph rule, which
+/// admits the standard 1/(cos θ − sin θ) stretch analysis underpinning
+/// Lemma 3). Same preconditions as yao_graph.
+[[nodiscard]] graph::Graph theta_graph(const ubg::UbgInstance& inst, int k);
+
+}  // namespace localspan::baseline

@@ -1,0 +1,40 @@
+#pragma once
+/// \file cluster_graph.hpp
+/// The Das–Narasimhan cluster graph H_{i-1} (§2.2.3, Fig 2).
+///
+/// H approximates the partial spanner G'_{i-1} so that the per-edge
+/// shortest-path queries of phase i can be answered on paths of O(1) hops
+/// (Lemma 8). Vertices of H are all of V; edges are
+///   * intra-cluster: {center a, member x}, weight sp_{G'}(a, x);
+///   * inter-cluster: {center a, center b} when sp_{G'}(a,b) <= W_{i-1} or
+///     some edge of G'_{i-1} crosses the two clusters; weight sp_{G'}(a,b).
+/// Lemma 5 bounds every inter-cluster weight by (2δ+1)W_{i-1}; Lemma 7 shows
+/// H-path lengths overestimate G'-path lengths by at most (1+6δ)/(1−2δ).
+
+#include "cluster/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace localspan::cluster {
+
+/// H plus the structural counters the paper's lemmas bound.
+struct ClusterGraph {
+  graph::Graph h;          ///< the cluster graph (same vertex ids as G').
+  int intra_edges = 0;
+  int inter_edges = 0;
+  int max_inter_degree = 0;  ///< max inter-cluster edges at a center (Lemma 6).
+  double max_inter_weight = 0.0;  ///< max inter-cluster edge weight (Lemma 5).
+};
+
+/// Build H_{i-1} from the partial spanner gp and its radius-δW cluster cover.
+/// \param w_prev  W_{i-1}, the inter-cluster connectivity threshold.
+[[nodiscard]] ClusterGraph build_cluster_graph(const graph::Graph& gp, const ClusterCover& cover,
+                                               double w_prev);
+
+/// Answer one §2.2.4 query on H: sp_H(x, y) truncated at `bound`
+/// (returns kInf if it exceeds the bound). If `hops_out` is non-null it
+/// receives the hop count of the found path (-1 when none), validating
+/// Lemma 8's O(1)-hop claim.
+[[nodiscard]] double query_on_h(const graph::Graph& h, int x, int y, double bound,
+                                int* hops_out = nullptr);
+
+}  // namespace localspan::cluster

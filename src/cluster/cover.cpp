@@ -1,0 +1,111 @@
+#include "cluster/cover.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/dijkstra.hpp"
+
+namespace localspan::cluster {
+
+std::vector<std::vector<int>> ClusterCover::members() const {
+  std::vector<std::vector<int>> out(center_of.size());
+  for (int v = 0; v < static_cast<int>(center_of.size()); ++v) {
+    out[static_cast<std::size_t>(center_of[static_cast<std::size_t>(v)])].push_back(v);
+  }
+  return out;
+}
+
+ClusterCover sequential_cover(const graph::Graph& gp, double radius) {
+  if (radius < 0.0) throw std::invalid_argument("sequential_cover: negative radius");
+  const int n = gp.n();
+  ClusterCover cover;
+  cover.radius = radius;
+  cover.center_of.assign(static_cast<std::size_t>(n), -1);
+  cover.dist_to_center.assign(static_cast<std::size_t>(n), graph::kInf);
+  for (int u = 0; u < n; ++u) {
+    if (cover.center_of[static_cast<std::size_t>(u)] != -1) continue;
+    const graph::ShortestPaths sp = graph::dijkstra_bounded(gp, u, radius);
+    cover.centers.push_back(u);
+    for (int v = 0; v < n; ++v) {
+      if (cover.center_of[static_cast<std::size_t>(v)] != -1) continue;
+      if (sp.dist[static_cast<std::size_t>(v)] <= radius) {
+        cover.center_of[static_cast<std::size_t>(v)] = u;
+        cover.dist_to_center[static_cast<std::size_t>(v)] = sp.dist[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  return cover;
+}
+
+ClusterCover mis_cover(const graph::Graph& gp, double radius,
+                       const std::function<std::vector<int>(const graph::Graph&)>& mis) {
+  if (radius < 0.0) throw std::invalid_argument("mis_cover: negative radius");
+  const int n = gp.n();
+
+  // Proximity graph J: {x,y} iff 0 < sp_gp(x,y) <= radius. Each node learns
+  // its J-neighborhood from its local ball (distributed step 1, §3.2.1).
+  graph::Graph j(n);
+  std::vector<graph::ShortestPaths> balls;
+  balls.reserve(static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    balls.push_back(graph::dijkstra_bounded(gp, u, radius));
+    for (int v = 0; v < u; ++v) {
+      if (balls[static_cast<std::size_t>(u)].dist[static_cast<std::size_t>(v)] <= radius) {
+        j.add_edge(u, v, 1.0);
+      }
+    }
+  }
+
+  const std::vector<int> independent = mis(j);
+  std::vector<char> in_mis(static_cast<std::size_t>(n), 0);
+  for (int c : independent) in_mis[static_cast<std::size_t>(c)] = 1;
+
+  ClusterCover cover;
+  cover.radius = radius;
+  cover.center_of.assign(static_cast<std::size_t>(n), -1);
+  cover.dist_to_center.assign(static_cast<std::size_t>(n), graph::kInf);
+  for (int c : independent) {
+    cover.center_of[static_cast<std::size_t>(c)] = c;
+    cover.dist_to_center[static_cast<std::size_t>(c)] = 0.0;
+  }
+  for (int v = 0; v < n; ++v) {
+    if (in_mis[static_cast<std::size_t>(v)]) continue;
+    // Attach to the highest-id MIS neighbor in J (paper's tie-break).
+    int best = -1;
+    for (const graph::Neighbor& nb : j.neighbors(v)) {
+      if (in_mis[static_cast<std::size_t>(nb.to)] && nb.to > best) best = nb.to;
+    }
+    if (best == -1) {
+      // Maximality of a correct MIS forbids this.
+      throw std::logic_error("mis_cover: vertex with no MIS neighbor (MIS not maximal?)");
+    }
+    cover.center_of[static_cast<std::size_t>(v)] = best;
+    cover.dist_to_center[static_cast<std::size_t>(v)] =
+        balls[static_cast<std::size_t>(best)].dist[static_cast<std::size_t>(v)];
+  }
+  cover.centers = independent;
+  std::sort(cover.centers.begin(), cover.centers.end());
+  return cover;
+}
+
+bool is_valid_cover(const graph::Graph& gp, const ClusterCover& cover) {
+  const int n = gp.n();
+  if (static_cast<int>(cover.center_of.size()) != n) return false;
+  for (int v = 0; v < n; ++v) {
+    const int c = cover.center_of[static_cast<std::size_t>(v)];
+    if (c < 0 || c >= n) return false;                          // coverage
+    if (cover.center_of[static_cast<std::size_t>(c)] != c) return false;  // centers own themselves
+    const double d = graph::sp_distance(gp, c, v, cover.radius);
+    if (d > cover.radius) return false;  // radius bound (also validates dist_to_center)
+    if (std::abs(d - cover.dist_to_center[static_cast<std::size_t>(v)]) > 1e-9) return false;
+  }
+  for (int a : cover.centers) {
+    for (int b : cover.centers) {
+      if (a >= b) continue;
+      if (graph::sp_distance(gp, a, b, cover.radius) <= cover.radius) return false;  // separation
+    }
+  }
+  return true;
+}
+
+}  // namespace localspan::cluster

@@ -1,0 +1,53 @@
+#pragma once
+/// \file cover.hpp
+/// Cluster covers (§2.2.1 sequential, §3.2.1 distributed).
+///
+/// A cluster cover of J with radius ρ is a set of clusters {C_{u1}, ...}
+/// such that every cluster has radius ρ (members within shortest-path
+/// distance ρ of the center), every vertex belongs to a cluster, and any two
+/// centers are more than ρ apart. Our covers additionally *partition* V
+/// (each vertex records exactly one owning center), which both constructions
+/// below produce naturally and which query-edge selection relies on.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace localspan::cluster {
+
+/// A radius-ρ cluster cover of a (partial spanner) graph.
+struct ClusterCover {
+  double radius = 0.0;
+  std::vector<int> center_of;        ///< owning center of each vertex (center_of[c]==c).
+  std::vector<double> dist_to_center;  ///< sp_{G'}(center_of[v], v), 0 at centers.
+  std::vector<int> centers;          ///< sorted list of distinct centers.
+
+  [[nodiscard]] bool is_center(int v) const {
+    return center_of[static_cast<std::size_t>(v)] == v;
+  }
+
+  /// Members of each center, keyed by center id (only centers present).
+  [[nodiscard]] std::vector<std::vector<int>> members() const;
+};
+
+/// Sequential construction (§2.2.1): sweep vertices in id order; each still
+/// uncovered vertex becomes a center and absorbs every uncovered vertex
+/// within shortest-path distance `radius` in gp (bounded Dijkstra).
+[[nodiscard]] ClusterCover sequential_cover(const graph::Graph& gp, double radius);
+
+/// MIS-based construction (§3.2.1): build the proximity graph J on V with
+/// {x,y} ∈ J iff sp_gp(x,y) <= radius; an MIS of J (computed by `mis`, which
+/// receives J) gives the centers; every other vertex attaches to its
+/// highest-id MIS neighbor in J. This is the distributed algorithm's cover;
+/// with a deterministic `mis` it is reproducible.
+[[nodiscard]] ClusterCover mis_cover(
+    const graph::Graph& gp, double radius,
+    const std::function<std::vector<int>(const graph::Graph&)>& mis);
+
+/// Validation for tests: coverage, radius bound, center separation
+/// (sp between any two centers > radius), and partition consistency.
+[[nodiscard]] bool is_valid_cover(const graph::Graph& gp, const ClusterCover& cover);
+
+}  // namespace localspan::cluster

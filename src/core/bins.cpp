@@ -1,0 +1,47 @@
+#include "core/bins.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace localspan::core {
+
+BinSchema::BinSchema(double alpha, double r, int n) : alpha_(alpha), r_(r), w0_(alpha / n) {
+  if (!(r > 1.0)) throw std::invalid_argument("BinSchema: r must be > 1");
+  if (n < 1) throw std::invalid_argument("BinSchema: n must be >= 1");
+  if (!(alpha > 0.0) || alpha > 1.0) throw std::invalid_argument("BinSchema: alpha in (0,1]");
+  m_ = static_cast<int>(std::ceil(std::log(static_cast<double>(n) / alpha_) / std::log(r_)));
+}
+
+double BinSchema::W(int i) const {
+  if (i < 0) throw std::invalid_argument("BinSchema::W: negative index");
+  return std::pow(r_, i) * w0_;
+}
+
+int BinSchema::bin_of(double len) const {
+  if (!(len > 0.0)) throw std::invalid_argument("BinSchema::bin_of: length must be positive");
+  if (len <= w0_) return 0;
+  // Initial guess from logs, then fix up floating-point boundary cases so
+  // that the invariant W(i-1) < len <= W(i) holds exactly.
+  int i = static_cast<int>(std::ceil(std::log(len / w0_) / std::log(r_)));
+  if (i < 1) i = 1;
+  while (i > 1 && W(i - 1) >= len) --i;
+  while (W(i) < len) ++i;
+  return i;
+}
+
+std::vector<std::vector<graph::Edge>> group_edges_by_bin(
+    const std::vector<graph::Edge>& edges, const BinSchema& schema,
+    const std::vector<double>& euclidean_len) {
+  if (edges.size() != euclidean_len.size()) {
+    throw std::invalid_argument("group_edges_by_bin: length array mismatch");
+  }
+  std::vector<std::vector<graph::Edge>> bins(static_cast<std::size_t>(schema.max_bin()) + 1);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const int b = schema.bin_of(euclidean_len[k]);
+    if (b >= static_cast<int>(bins.size())) bins.resize(static_cast<std::size_t>(b) + 1);
+    bins[static_cast<std::size_t>(b)].push_back(edges[k]);
+  }
+  return bins;
+}
+
+}  // namespace localspan::core

@@ -1,0 +1,202 @@
+#include "core/distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/greedy.hpp"
+#include "graph/components.hpp"
+#include "graph/dijkstra.hpp"
+#include "mis/luby.hpp"
+
+namespace localspan::core {
+
+namespace {
+
+using detail::PhaseEdge;
+
+/// Hops needed in G to explore a Euclidean-scale radius L: on any shortest
+/// path, vertices two hops apart are > α apart (else the direct edge would
+/// exist in an α-UBG), so a path of length L has at most ⌈2L/α⌉ hops.
+long long hops_for(double length, double alpha) {
+  return std::max<long long>(1, static_cast<long long>(std::ceil(2.0 * length / alpha)));
+}
+
+std::function<double(double)> make_transform(const RelaxedGreedyOptions& opts) {
+  if (opts.weight_transform) return opts.weight_transform;
+  return [](double len) { return len; };
+}
+
+}  // namespace
+
+DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const Params& params,
+                                             const RelaxedGreedyOptions& opts, std::uint64_t seed) {
+  params.validate();
+  if (std::abs(params.alpha - inst.config.alpha) > 1e-12) {
+    throw std::invalid_argument("distributed_relaxed_greedy: params.alpha != instance alpha");
+  }
+  const int n = inst.g.n();
+  const long long m_edges = inst.g.m();
+  const auto transform = make_transform(opts);
+  const int lstar = log_star(static_cast<double>(std::max(2, n)));
+
+  DistributedResult result{{graph::Graph(n), params, {}, 0, 0, 0}, {}, {}};
+  graph::Graph& spanner = result.base.spanner;
+  runtime::RoundLedger& ledger = result.ledger;
+
+  const std::vector<graph::Edge> ge = inst.g.edges();
+  std::vector<graph::Edge> weighted;
+  std::vector<double> lens;
+  for (const graph::Edge& e : ge) {
+    weighted.push_back({e.u, e.v, transform(e.w)});
+    lens.push_back(e.w);
+  }
+  const BinSchema schema(params.alpha, params.r, n);
+  const auto bins = group_edges_by_bin(weighted, schema, lens);
+  result.base.total_bins = static_cast<int>(bins.size());
+
+  // ---- Phase 0 (§3.1): every node learns its closed neighborhood topology
+  // in 2 rounds (adjacency exchange), locally determines its G_0 component
+  // (a clique, Lemma 1), runs SEQ-GREEDY on it deterministically, and
+  // announces its incident spanner edges in 1 round. We compute the same
+  // spanner centrally and charge those 3 rounds.
+  {
+    PhaseStats st;
+    st.bin = 0;
+    st.w_hi = params.alpha / n;
+    st.edges_in_bin = static_cast<int>(bins[0].size());
+    graph::Graph g0(n);
+    for (const graph::Edge& e : bins[0]) g0.add_edge(e.u, e.v, e.w);
+    const graph::Components comps = graph::connected_components(g0);
+    const auto weight = [&](int u, int v) { return transform(std::max(inst.dist(u, v), 1e-12)); };
+    for (const std::vector<int>& members : comps.groups()) {
+      if (members.size() < 2) continue;
+      ++result.base.phase0_components;
+      for (const graph::Edge& e : seq_greedy_clique(members, weight, params.t)) {
+        if (spanner.add_edge(e.u, e.v, e.w)) ++st.added;
+      }
+    }
+    ledger.charge("phase0", 3, 3 * 2 * m_edges);
+    result.base.phases.push_back(st);
+  }
+
+  std::uint64_t phase_seed = seed;
+
+  for (int i = 1; i < static_cast<int>(bins.size()); ++i) {
+    const auto& bin = bins[static_cast<std::size_t>(i)];
+    if (bin.empty()) continue;
+    ++result.base.nonempty_bins;
+
+    PhaseStats st;
+    st.bin = i;
+    st.w_lo = schema.W(i - 1);
+    st.w_hi = schema.W(i);
+    st.edges_in_bin = static_cast<int>(bin.size());
+
+    PhaseRounds pr;
+    pr.bin = i;
+
+    const double w_eucl = schema.W(i - 1);  // Euclidean-scale W_{i-1}
+    const double w_prev = transform(w_eucl);
+    const double radius = params.delta * w_prev;
+
+    // ---- (i) cluster cover (§3.2.1): gather + Luby MIS on J + attach.
+    const long long k_ball = hops_for(params.delta * w_eucl, params.alpha);
+    mis::LubyStats luby1;
+    const auto mis_fn = [&](const graph::Graph& j) {
+      return mis::luby_mis(j, ++phase_seed, &luby1, nullptr, "cover-mis");
+    };
+    const cluster::ClusterCover cover = cluster::mis_cover(spanner, radius, mis_fn);
+    st.clusters = static_cast<int>(cover.centers.size());
+
+    pr.cover = k_ball                       // learn the δW ball of G'_{i-1}
+               + luby1.network_rounds * k_ball  // each J-round = k_ball G-rounds
+               + 1;                             // attach to a center
+    pr.mis_rounds_measured += luby1.network_rounds * k_ball;
+    pr.mis_rounds_kmw_model += static_cast<long long>(lstar) * k_ball;
+    ledger.charge("cover", pr.cover,
+                  k_ball * 2 * m_edges + luby1.messages * k_ball + n);
+    result.net.mis_invocations += 1;
+    result.net.max_luby_iterations = std::max(result.net.max_luby_iterations, luby1.iterations);
+
+    // ---- (ii) query edge selection (§3.2.2): heads gather 1 + 2δW/α hops.
+    std::vector<PhaseEdge> candidates;
+    for (const graph::Edge& e : bin) {
+      if (spanner.has_edge(e.u, e.v)) {
+        ++st.already_in_spanner;
+        continue;
+      }
+      const PhaseEdge pe{e.u, e.v, inst.dist(e.u, e.v), e.w};
+      if (opts.covered_edge_filter && detail::is_covered_edge(inst, spanner, pe, params.theta)) {
+        ++st.covered;
+      } else {
+        candidates.push_back(pe);
+      }
+    }
+    st.candidates = static_cast<int>(candidates.size());
+    const std::vector<PhaseEdge> queries =
+        detail::select_query_edges(candidates, cover, params.t, &st.max_query_edges_per_cluster);
+    st.queries = static_cast<int>(queries.size());
+    pr.select = k_ball + 1;
+    ledger.charge("select", pr.select, (k_ball + 1) * 2 * m_edges);
+
+    // ---- (iii) cluster graph (§3.2.3): gather 2(2δ+1)W/α hops.
+    const cluster::ClusterGraph cg = cluster::build_cluster_graph(spanner, cover, w_prev);
+    st.max_inter_degree = cg.max_inter_degree;
+    st.max_inter_weight = cg.max_inter_weight;
+    const long long k_h = hops_for((2.0 * params.delta + 1.0) * w_eucl, params.alpha);
+    pr.cluster_graph = k_h;
+    ledger.charge("clustergraph", k_h, k_h * 2 * m_edges);
+
+    // ---- (iv) query answering (§3.2.4): Theorem 9 constant-hop search.
+    const std::vector<PhaseEdge> to_add =
+        detail::answer_queries(cg.h, queries, params.t, &st.max_query_hops);
+    for (const PhaseEdge& e : to_add) spanner.add_edge(e.u, e.v, e.w);
+    st.added = static_cast<int>(to_add.size());
+    const long long k_q = hops_for(2.0 * params.delta + 1.0, params.alpha);
+    pr.query = k_q;
+    ledger.charge("query", k_q, k_q * 2 * m_edges);
+
+    // ---- (v) redundant edge removal (§3.2.5): constant-hop exchange +
+    // Luby MIS on the conflict graph (J-edges span ≤ 2 t1 r W/α G-hops).
+    if (opts.redundancy_removal && to_add.size() >= 2) {
+      mis::LubyStats luby2;
+      const auto mis_fn2 = [&](const graph::Graph& j) {
+        return mis::luby_mis(j, ++phase_seed, &luby2, nullptr, "redundancy-mis");
+      };
+      const std::vector<int> removal =
+          detail::redundant_edge_removal(cg.h, to_add, params.t1, mis_fn2);
+      for (int idx : removal) {
+        const PhaseEdge& e = to_add[static_cast<std::size_t>(idx)];
+        spanner.remove_edge(e.u, e.v);
+      }
+      st.removed = static_cast<int>(removal.size());
+      const long long k_red =
+          hops_for(params.t1 * params.r * std::min(w_eucl, 1.0) * params.r, params.alpha);
+      pr.redundancy = k_red + luby2.network_rounds * k_red;
+      pr.mis_rounds_measured += luby2.network_rounds * k_red;
+      pr.mis_rounds_kmw_model += static_cast<long long>(lstar) * k_red;
+      ledger.charge("redundancy", pr.redundancy,
+                    k_red * 2 * m_edges + luby2.messages * k_red);
+      result.net.mis_invocations += 1;
+      result.net.max_luby_iterations = std::max(result.net.max_luby_iterations, luby2.iterations);
+    }
+
+    // KMW model total for this phase: deterministic steps unchanged, MIS
+    // rounds replaced by the log*(n) model.
+    result.net.per_phase.push_back(pr);
+    result.base.phases.push_back(st);
+  }
+
+  result.net.rounds_measured = ledger.rounds();
+  result.net.messages = ledger.messages();
+  long long kmw = 0;
+  for (const PhaseRounds& pr : result.net.per_phase) {
+    kmw += pr.total_measured() - pr.mis_rounds_measured + pr.mis_rounds_kmw_model;
+  }
+  kmw += 3;  // phase 0
+  result.net.rounds_kmw_model = kmw;
+  return result;
+}
+
+}  // namespace localspan::core

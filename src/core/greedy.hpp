@@ -1,0 +1,33 @@
+#pragma once
+/// \file greedy.hpp
+/// SEQ-GREEDY (paper §1.4): the classical greedy spanner.
+///
+///   sort edges by non-decreasing weight; for each edge {u,v}, add it to the
+///   output iff the partial output has no uv-path of length <= t·w(u,v).
+///
+/// On complete Euclidean graphs its output is a t-spanner of O(1) degree and
+/// O(w(MST)) weight [4]; §2 of the paper extends this to α-UBGs. We use it
+/// three ways: to span the phase-0 cliques (§2.1/§3.1), as the strongest
+/// quality baseline (it is what the relaxed algorithm approximates), and as
+/// the "naive, slow" comparator for the E12 runtime experiment.
+
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace localspan::core {
+
+/// Greedy t-spanner of g. Edges are processed in non-decreasing weight order
+/// with (u, v) as deterministic tie-break; each path query is a bounded
+/// Dijkstra with early exit at t·w(u,v).
+/// \throws std::invalid_argument unless t >= 1.
+[[nodiscard]] graph::Graph seq_greedy(const graph::Graph& g, double t);
+
+/// Greedy t-spanner of the clique on `members` (global vertex ids) with edge
+/// weights from `weight`. Returns the chosen edges as a global-id edge list.
+/// This is exactly the PROCESS-SHORT-EDGES step applied to one connected
+/// component of G_0 (Lemma 1 guarantees the component is a clique of G).
+[[nodiscard]] std::vector<graph::Edge> seq_greedy_clique(
+    const std::vector<int>& members, const std::function<double(int, int)>& weight, double t);
+
+}  // namespace localspan::core

@@ -1,0 +1,111 @@
+#include "core/params.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "geom/cones.hpp"
+
+namespace localspan::core {
+
+namespace {
+
+void check_inputs(double eps, double alpha) {
+  if (!(eps > 0.0)) throw std::invalid_argument("Params: eps must be > 0");
+  if (!(alpha > 0.0) || alpha > 1.0) throw std::invalid_argument("Params: alpha must be in (0,1]");
+}
+
+/// Feasibility margin for the joint (δ, t1) constraint: we need
+/// (1+6δ)/(1−2δ) + 4δ < t so that a t1 with (1+6δ)/(1−2δ) < t1 <= t−4δ exists.
+double joint_constraint(double delta) { return (1.0 + 6.0 * delta) / (1.0 - 2.0 * delta) + 4.0 * delta; }
+
+}  // namespace
+
+Params Params::strict_params(double eps, double alpha) {
+  check_inputs(eps, alpha);
+  Params p;
+  p.eps = eps;
+  p.t = 1.0 + eps;
+  p.alpha = alpha;
+  p.strict = true;
+
+  // Largest δ* with joint_constraint(δ*) = t, found by bisection on (0, 0.5).
+  double lo = 0.0;
+  double hi = 0.49;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (joint_constraint(mid) < p.t ? lo : hi) = mid;
+  }
+  p.delta = 0.7 * lo;
+
+  const double t1_lo = (1.0 + 6.0 * p.delta) / (1.0 - 2.0 * p.delta);
+  const double t1_hi = p.t - 4.0 * p.delta;
+  p.t1 = 0.5 * (t1_lo + t1_hi);
+
+  p.t_delta = p.t1 * (1.0 - 2.0 * p.delta) / (1.0 + 6.0 * p.delta);
+  p.r = 1.0 + 0.8 * ((p.t_delta + 1.0) / 2.0 - 1.0);
+  p.theta = geom::max_theta_for_stretch(p.t);
+  p.validate();
+  return p;
+}
+
+Params Params::practical_params(double eps, double alpha) {
+  check_inputs(eps, alpha);
+  Params p;
+  p.eps = eps;
+  p.t = 1.0 + eps;
+  p.alpha = alpha;
+  p.strict = false;
+  p.t1 = 0.5 * (1.0 + p.t);
+  // Keep the Theorem 10 condition δ <= (t−t1)/4 with margin; cap for locality.
+  p.delta = std::min(0.08, 0.9 * (p.t - p.t1) / 4.0);
+  p.t_delta = p.t1 * (1.0 - 2.0 * p.delta) / (1.0 + 6.0 * p.delta);
+  p.r = 1.8;
+  p.theta = geom::max_theta_for_stretch(p.t);
+  p.validate();
+  return p;
+}
+
+bool Params::satisfies_stretch_conditions() const {
+  return t > 1.0 && t1 > 1.0 && t1 < t && delta > 0.0 && delta <= (t - t1) / 4.0 &&
+         geom::theta_valid_for_stretch(theta, t) && alpha > 0.0 && alpha <= 1.0 && r > 1.0;
+}
+
+bool Params::satisfies_weight_conditions() const {
+  if (!satisfies_stretch_conditions()) return false;
+  const double d_cap = std::min((t - 1.0) / (6.0 + 2.0 * t), (t - t1) / 4.0);
+  const double td = t1 * (1.0 - 2.0 * delta) / (1.0 + 6.0 * delta);
+  return delta < d_cap && td > 1.0 && r < (td + 1.0) / 2.0;
+}
+
+void Params::validate() const {
+  if (!satisfies_stretch_conditions()) {
+    throw std::invalid_argument("Params: stretch-side (Theorem 10) conditions violated: " +
+                                describe());
+  }
+  if (strict && !satisfies_weight_conditions()) {
+    throw std::invalid_argument("Params: weight-side (Theorem 13) conditions violated: " +
+                                describe());
+  }
+}
+
+std::string Params::describe() const {
+  std::ostringstream os;
+  os << "Params{eps=" << eps << ", t=" << t << ", t1=" << t1 << ", delta=" << delta
+     << ", t_delta=" << t_delta << ", r=" << r << ", theta=" << theta << ", alpha=" << alpha
+     << ", " << (strict ? "strict" : "practical") << "}";
+  return os.str();
+}
+
+int log_star(double n) {
+  int k = 0;
+  while (n > 1.0) {
+    n = std::log2(n);
+    ++k;
+    if (k > 64) break;  // defensively bounded; unreachable for finite doubles
+  }
+  return k;
+}
+
+}  // namespace localspan::core

@@ -1,0 +1,58 @@
+#pragma once
+/// \file params.hpp
+/// Derivation of the constants the relaxed greedy algorithm runs with.
+///
+/// The paper's guarantees hold under a web of sufficient conditions:
+///   Lemma 3 / §2.2.2 :  0 < θ < π/4,  t >= 1/(cos θ − sin θ)
+///   Theorem 10       :  0 < δ <= (t − t1)/4,  1 < t1 < t
+///   Theorem 13       :  δ < min{(t−1)/(6+2t), (t−t1)/4},
+///                       t_δ = t1(1−2δ)/(1+6δ) > 1,  1 < r < (t_δ+1)/2
+/// Given only ε (t = 1+ε), `Params::strict` picks values meeting all of
+/// them with safety margins. Because the resulting r is barely above 1 (the
+/// price of the worst-case weight proof), `Params::practical` offers an
+/// engineering preset with large r and mid-range t1/δ that keeps the
+/// *stretch* conditions (Theorem 10) intact while trading away the formal
+/// weight constant — experiment E12 quantifies the difference.
+
+#include <string>
+
+namespace localspan::core {
+
+/// Complete parameterization of the relaxed greedy algorithm.
+struct Params {
+  double eps = 0.5;    ///< target stretch slack; t = 1 + eps.
+  double t = 1.5;      ///< stretch target (> 1).
+  double t1 = 0.0;     ///< redundancy stretch, 1 < t1 < t (§2.2.5).
+  double delta = 0.0;  ///< cluster radius factor: radius = delta * W_{i-1}.
+  double t_delta = 0.0;  ///< t1(1−2δ)/(1+6δ) (Theorem 13).
+  double r = 0.0;        ///< geometric bin ratio W_i = r^i · α/n (> 1).
+  double theta = 0.0;    ///< covered-edge cone half-angle (Lemma 3).
+  double alpha = 0.75;   ///< α of the α-UBG model, in (0, 1].
+  bool strict = true;    ///< whether the Theorem-13 sufficient conditions hold.
+
+  /// Theorem-faithful parameters: every sufficient condition of Theorems 10
+  /// and 13 satisfied with margin. \throws std::invalid_argument if eps <= 0
+  /// or alpha outside (0,1].
+  static Params strict_params(double eps, double alpha);
+
+  /// Engineering preset: Theorem 10 (stretch) conditions kept, bin ratio
+  /// r = 1.8 for ~10x fewer phases; weight/degree still empirically flat.
+  static Params practical_params(double eps, double alpha);
+
+  /// True iff all Theorem 10 stretch-side conditions hold.
+  [[nodiscard]] bool satisfies_stretch_conditions() const;
+
+  /// True iff all Theorem 13 weight-side conditions hold too.
+  [[nodiscard]] bool satisfies_weight_conditions() const;
+
+  /// Throws std::invalid_argument when the stretch-side conditions fail
+  /// (running the algorithm would void its guarantee).
+  void validate() const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Iterated logarithm log*(n) base 2 (KMW round model, [11]).
+[[nodiscard]] int log_star(double n);
+
+}  // namespace localspan::core

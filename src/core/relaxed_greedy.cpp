@@ -1,0 +1,318 @@
+#include "core/relaxed_greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/greedy.hpp"
+#include "graph/components.hpp"
+#include "graph/dijkstra.hpp"
+#include "mis/mis.hpp"
+
+namespace localspan::core {
+
+namespace detail {
+
+bool is_covered_edge(const ubg::UbgInstance& inst, const graph::Graph& gp, const PhaseEdge& e,
+                     double theta) {
+  const double alpha = inst.config.alpha;
+  const auto test_side = [&](int u, int v) {
+    // Looking for z with {u,z} in G'_{i-1}, |vz| <= alpha, angle vuz <= theta.
+    const geom::Point& pu = inst.points[static_cast<std::size_t>(u)];
+    const geom::Point& pv = inst.points[static_cast<std::size_t>(v)];
+    for (const graph::Neighbor& nb : gp.neighbors(u)) {
+      const int z = nb.to;
+      if (z == v) continue;
+      const geom::Point& pz = inst.points[static_cast<std::size_t>(z)];
+      if (geom::distance(pv, pz) > alpha) continue;
+      const double duz = geom::distance(pu, pz);
+      if (duz == 0.0) continue;                          // degenerate ray
+      if (duz > geom::distance(pu, pv)) continue;        // Lemma 3 needs |uz| <= |uv|
+      if (geom::angle_at(pu, pv, pz) <= theta) return true;
+    }
+    return false;
+  };
+  return test_side(e.u, e.v) || test_side(e.v, e.u);
+}
+
+std::vector<PhaseEdge> select_query_edges(const std::vector<PhaseEdge>& candidates,
+                                          const cluster::ClusterCover& cover, double t,
+                                          int* per_cluster_max) {
+  struct Best {
+    double objective;
+    PhaseEdge edge;
+  };
+  std::map<std::pair<int, int>, Best> best_per_pair;
+  for (const PhaseEdge& e : candidates) {
+    const int ca = cover.center_of[static_cast<std::size_t>(e.u)];
+    const int cb = cover.center_of[static_cast<std::size_t>(e.v)];
+    const auto key = std::minmax(ca, cb);
+    const double objective = t * e.w - cover.dist_to_center[static_cast<std::size_t>(e.u)] -
+                             cover.dist_to_center[static_cast<std::size_t>(e.v)];
+    auto it = best_per_pair.find(key);
+    if (it == best_per_pair.end()) {
+      best_per_pair.emplace(key, Best{objective, e});
+    } else if (objective < it->second.objective ||
+               (objective == it->second.objective &&
+                std::pair(e.u, e.v) < std::pair(it->second.edge.u, it->second.edge.v))) {
+      it->second = Best{objective, e};
+    }
+  }
+  std::vector<PhaseEdge> selected;
+  selected.reserve(best_per_pair.size());
+  std::unordered_map<int, int> incident;
+  for (const auto& [key, b] : best_per_pair) {
+    selected.push_back(b.edge);
+    ++incident[key.first];
+    if (key.second != key.first) ++incident[key.second];
+  }
+  if (per_cluster_max != nullptr) {
+    int mx = 0;
+    for (const auto& [c, cnt] : incident) mx = std::max(mx, cnt);
+    *per_cluster_max = mx;
+  }
+  return selected;
+}
+
+std::vector<PhaseEdge> answer_queries(const graph::Graph& h, const std::vector<PhaseEdge>& queries,
+                                      double t, int* max_hops) {
+  std::vector<PhaseEdge> to_add;
+  int worst_hops = 0;
+  for (const PhaseEdge& q : queries) {
+    const double bound = t * q.w;
+    int hops = -1;
+    const double d = cluster::query_on_h(h, q.u, q.v, bound, &hops);
+    if (d <= bound) {
+      worst_hops = std::max(worst_hops, hops);  // answered positively on H
+    } else {
+      to_add.push_back(q);
+    }
+  }
+  if (max_hops != nullptr) *max_hops = worst_hops;
+  return to_add;
+}
+
+namespace {
+
+/// Bounded sp_H from every distinct endpoint of `added`, for redundancy tests.
+std::unordered_map<int, graph::ShortestPaths> endpoint_balls(const graph::Graph& h,
+                                                             const std::vector<PhaseEdge>& added,
+                                                             double bound) {
+  std::unordered_map<int, graph::ShortestPaths> balls;
+  for (const PhaseEdge& e : added) {
+    for (int p : {e.u, e.v}) {
+      if (!balls.contains(p)) balls.emplace(p, graph::dijkstra_bounded(h, p, bound));
+    }
+  }
+  return balls;
+}
+
+}  // namespace
+
+graph::Graph redundancy_conflict_graph(const graph::Graph& h, const std::vector<PhaseEdge>& added,
+                                       double t1) {
+  const int k = static_cast<int>(added.size());
+  graph::Graph j(k);
+  if (k < 2) return j;
+  double max_w = 0.0;
+  for (const PhaseEdge& e : added) max_w = std::max(max_w, e.w);
+  const auto balls = endpoint_balls(h, added, t1 * max_w);
+  const auto dist = [&](int a, int b) {
+    return balls.at(a).dist[static_cast<std::size_t>(b)];
+  };
+  for (int a = 0; a < k; ++a) {
+    for (int b = a + 1; b < k; ++b) {
+      const PhaseEdge& e = added[static_cast<std::size_t>(a)];
+      const PhaseEdge& f = added[static_cast<std::size_t>(b)];
+      // Conditions (i)+(ii) of §2.2.5, tried under both endpoint pairings
+      // (sp is symmetric, so each pairing shares one connection sum S).
+      const double s1 = dist(e.u, f.u) + dist(e.v, f.v);
+      const double s2 = dist(e.u, f.v) + dist(e.v, f.u);
+      const bool pairing1 = s1 + f.w <= t1 * e.w && s1 + e.w <= t1 * f.w;
+      const bool pairing2 = s2 + f.w <= t1 * e.w && s2 + e.w <= t1 * f.w;
+      if (pairing1 || pairing2) j.add_edge(a, b, 1.0);
+    }
+  }
+  return j;
+}
+
+std::vector<int> redundant_edge_removal(
+    const graph::Graph& h, const std::vector<PhaseEdge>& added, double t1,
+    const std::function<std::vector<int>(const graph::Graph&)>& mis) {
+  const graph::Graph j = redundancy_conflict_graph(h, added, t1);
+  if (j.m() == 0) return {};
+  const std::vector<int> keep = mis(j);
+  std::vector<char> kept(static_cast<std::size_t>(j.n()), 0);
+  for (int v : keep) kept[static_cast<std::size_t>(v)] = 1;
+  std::vector<int> remove;
+  for (int v = 0; v < j.n(); ++v) {
+    // Only nodes participating in a redundant pair are in V(J) per the
+    // paper; isolated nodes here correspond to non-participating edges and
+    // are always kept.
+    if (!kept[static_cast<std::size_t>(v)] && j.degree(v) > 0) remove.push_back(v);
+  }
+  return remove;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::PhaseEdge;
+
+std::function<double(double)> make_transform(const RelaxedGreedyOptions& opts) {
+  if (opts.weight_transform) return opts.weight_transform;
+  return [](double len) { return len; };
+}
+
+/// Phase 0 (§2.1): components of G_0 are cliques (Lemma 1); span each with
+/// SEQ-GREEDY and merge.
+PhaseStats process_short_edges(const ubg::UbgInstance& inst,
+                               const std::vector<graph::Edge>& bin0,
+                               const std::function<double(double)>& transform, const Params& params,
+                               int clique_cap, graph::Graph& spanner, int* component_count) {
+  PhaseStats st;
+  st.bin = 0;
+  st.w_hi = params.alpha / inst.g.n();
+  st.edges_in_bin = static_cast<int>(bin0.size());
+  graph::Graph g0(inst.g.n());
+  for (const graph::Edge& e : bin0) g0.add_edge(e.u, e.v, e.w);
+  const graph::Components comps = graph::connected_components(g0);
+  int nontrivial = 0;
+  const auto weight = [&](int u, int v) { return transform(std::max(inst.dist(u, v), 1e-12)); };
+  for (const std::vector<int>& members : comps.groups()) {
+    if (members.size() < 2) continue;
+    ++nontrivial;
+    std::vector<graph::Edge> chosen;
+    if (static_cast<int>(members.size()) <= clique_cap) {
+      chosen = seq_greedy_clique(members, weight, params.t);
+    } else {
+      // Safety valve for adversarially dense components: greedy over the
+      // component-internal UBG edges (a superset of spanner needs; see
+      // options doc). Edges leaving the component belong to later bins.
+      std::vector<char> in_comp(static_cast<std::size_t>(inst.g.n()), 0);
+      for (int u : members) in_comp[static_cast<std::size_t>(u)] = 1;
+      graph::Graph local(inst.g.n());
+      for (int u : members) {
+        for (const graph::Neighbor& nb : inst.g.neighbors(u)) {
+          if (u < nb.to && in_comp[static_cast<std::size_t>(nb.to)]) {
+            local.add_edge(u, nb.to, weight(u, nb.to));
+          }
+        }
+      }
+      chosen = seq_greedy(local, params.t).edges();
+    }
+    for (const graph::Edge& e : chosen) {
+      if (spanner.add_edge(e.u, e.v, e.w)) ++st.added;
+    }
+  }
+  if (component_count != nullptr) *component_count = nontrivial;
+  return st;
+}
+
+}  // namespace
+
+RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& params,
+                                   const RelaxedGreedyOptions& opts) {
+  params.validate();
+  if (std::abs(params.alpha - inst.config.alpha) > 1e-12) {
+    throw std::invalid_argument("relaxed_greedy: params.alpha != instance alpha");
+  }
+  const int n = inst.g.n();
+  const auto transform = make_transform(opts);
+
+  // Materialize edges with Euclidean lengths and active weights.
+  const std::vector<graph::Edge> ge = inst.g.edges();
+  std::vector<graph::Edge> weighted;
+  std::vector<double> lens;
+  weighted.reserve(ge.size());
+  lens.reserve(ge.size());
+  for (const graph::Edge& e : ge) {
+    weighted.push_back({e.u, e.v, transform(e.w)});
+    lens.push_back(e.w);  // generator stores Euclidean lengths as weights
+  }
+
+  const BinSchema schema(params.alpha, params.r, n);
+  const auto bins = group_edges_by_bin(weighted, schema, lens);
+
+  RelaxedGreedyResult result{graph::Graph(n), params, {}, 0, 0,
+                             static_cast<int>(bins.size())};
+
+  // Phase 0.
+  result.phases.push_back(process_short_edges(inst, bins[0], transform, params,
+                                              opts.phase0_clique_cap, result.spanner,
+                                              &result.phase0_components));
+
+  const auto mis_fn = [](const graph::Graph& j) { return mis::greedy_mis(j); };
+
+  // Phases i >= 1, skipping empty bins (recomputation is from G' alone, so
+  // skipping is a pure optimization).
+  for (int i = 1; i < static_cast<int>(bins.size()); ++i) {
+    const auto& bin = bins[static_cast<std::size_t>(i)];
+    if (bin.empty()) continue;
+    ++result.nonempty_bins;
+
+    PhaseStats st;
+    st.bin = i;
+    st.w_lo = schema.W(i - 1);
+    st.w_hi = schema.W(i);
+    st.edges_in_bin = static_cast<int>(bin.size());
+
+    const double w_prev = transform(schema.W(i - 1));
+    const double radius = params.delta * w_prev;
+
+    // (i) cluster cover of G'_{i-1}.
+    const cluster::ClusterCover cover = cluster::sequential_cover(result.spanner, radius);
+    st.clusters = static_cast<int>(cover.centers.size());
+
+    // (ii) covered-edge filter + candidate selection.
+    std::vector<PhaseEdge> candidates;
+    for (const graph::Edge& e : bin) {
+      if (result.spanner.has_edge(e.u, e.v)) {
+        ++st.already_in_spanner;
+        continue;
+      }
+      const PhaseEdge pe{e.u, e.v, inst.dist(e.u, e.v), e.w};
+      if (opts.covered_edge_filter &&
+          detail::is_covered_edge(inst, result.spanner, pe, params.theta)) {
+        ++st.covered;
+      } else {
+        candidates.push_back(pe);
+      }
+    }
+    st.candidates = static_cast<int>(candidates.size());
+
+    const std::vector<PhaseEdge> queries =
+        detail::select_query_edges(candidates, cover, params.t, &st.max_query_edges_per_cluster);
+    st.queries = static_cast<int>(queries.size());
+
+    // (iii) cluster graph of G'_{i-1}.
+    const cluster::ClusterGraph cg = cluster::build_cluster_graph(result.spanner, cover, w_prev);
+    st.max_inter_degree = cg.max_inter_degree;
+    st.max_inter_weight = cg.max_inter_weight;
+
+    // (iv) shortest-path queries on H (lazy update: all answered before adds).
+    const std::vector<PhaseEdge> to_add =
+        detail::answer_queries(cg.h, queries, params.t, &st.max_query_hops);
+    for (const PhaseEdge& e : to_add) result.spanner.add_edge(e.u, e.v, e.w);
+    st.added = static_cast<int>(to_add.size());
+
+    // (v) redundant edge removal.
+    if (opts.redundancy_removal && to_add.size() >= 2) {
+      const std::vector<int> removal =
+          detail::redundant_edge_removal(cg.h, to_add, params.t1, mis_fn);
+      for (int idx : removal) {
+        const PhaseEdge& e = to_add[static_cast<std::size_t>(idx)];
+        result.spanner.remove_edge(e.u, e.v);
+      }
+      st.removed = static_cast<int>(removal.size());
+    }
+
+    result.phases.push_back(st);
+  }
+  return result;
+}
+
+}  // namespace localspan::core

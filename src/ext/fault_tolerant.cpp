@@ -1,0 +1,134 @@
+#include "ext/fault_tolerant.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "graph/dijkstra.hpp"
+
+namespace localspan::ext {
+
+namespace {
+
+/// Count pairwise edge-disjoint uv-paths of length <= bound in g, by greedy
+/// peeling: repeatedly find a shortest bounded path, count it, delete its
+/// edges. Stops at `needed`.
+int disjoint_bounded_paths(graph::Graph g, int u, int v, double bound, int needed) {
+  int found = 0;
+  while (found < needed) {
+    const graph::ShortestPaths sp = graph::dijkstra_bounded(g, u, bound);
+    if (sp.dist[static_cast<std::size_t>(v)] > bound) break;
+    ++found;
+    for (int cur = v; sp.parent[static_cast<std::size_t>(cur)] != -1;) {
+      const int prev = sp.parent[static_cast<std::size_t>(cur)];
+      g.remove_edge(prev, cur);
+      cur = prev;
+    }
+  }
+  return found;
+}
+
+/// Count internally vertex-disjoint uv-paths of length <= bound, greedily:
+/// find a shortest bounded path, count it, delete its interior vertices.
+int disjoint_bounded_vertex_paths(graph::Graph g, int u, int v, double bound, int needed) {
+  int found = 0;
+  while (found < needed) {
+    const graph::ShortestPaths sp = graph::dijkstra_bounded(g, u, bound);
+    if (sp.dist[static_cast<std::size_t>(v)] > bound) break;
+    ++found;
+    // Collect the interior, then cut those vertices out of the working copy.
+    std::vector<int> interior;
+    for (int cur = sp.parent[static_cast<std::size_t>(v)]; cur != -1 && cur != u;
+         cur = sp.parent[static_cast<std::size_t>(cur)]) {
+      interior.push_back(cur);
+    }
+    if (interior.empty()) {
+      // The direct edge: remove it so the next peel finds another route.
+      g.remove_edge(u, v);
+      continue;
+    }
+    for (int w : interior) {
+      std::vector<int> nbrs;
+      for (const graph::Neighbor& nb : g.neighbors(w)) nbrs.push_back(nb.to);
+      for (int to : nbrs) g.remove_edge(w, to);
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+graph::Graph fault_tolerant_greedy_vertex(const graph::Graph& g, double t, int k) {
+  if (!(t >= 1.0)) throw std::invalid_argument("fault_tolerant_greedy_vertex: t must be >= 1");
+  if (k < 0) throw std::invalid_argument("fault_tolerant_greedy_vertex: k must be >= 0");
+  std::vector<graph::Edge> es = g.edges();
+  std::sort(es.begin(), es.end(), [](const graph::Edge& a, const graph::Edge& b) {
+    if (a.w != b.w) return a.w < b.w;
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  graph::Graph out(g.n());
+  for (const graph::Edge& e : es) {
+    const double bound = t * e.w;
+    if (disjoint_bounded_vertex_paths(out, e.u, e.v, bound, k + 1) < k + 1) {
+      out.add_edge(e.u, e.v, e.w);
+    }
+  }
+  return out;
+}
+
+graph::Graph fault_tolerant_greedy(const graph::Graph& g, double t, int k) {
+  if (!(t >= 1.0)) throw std::invalid_argument("fault_tolerant_greedy: t must be >= 1");
+  if (k < 0) throw std::invalid_argument("fault_tolerant_greedy: k must be >= 0");
+  std::vector<graph::Edge> es = g.edges();
+  std::sort(es.begin(), es.end(), [](const graph::Edge& a, const graph::Edge& b) {
+    if (a.w != b.w) return a.w < b.w;
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  graph::Graph out(g.n());
+  for (const graph::Edge& e : es) {
+    const double bound = t * e.w;
+    if (disjoint_bounded_paths(out, e.u, e.v, bound, k + 1) < k + 1) {
+      out.add_edge(e.u, e.v, e.w);
+    }
+  }
+  return out;
+}
+
+graph::Graph inject_edge_faults(const graph::Graph& g, int faults, std::uint64_t seed,
+                                std::vector<graph::Edge>* removed) {
+  if (faults < 0) throw std::invalid_argument("inject_edge_faults: negative fault count");
+  graph::Graph out = g;
+  std::vector<graph::Edge> es = g.edges();
+  std::mt19937_64 rng(seed);
+  std::shuffle(es.begin(), es.end(), rng);
+  const int kill = std::min<int>(faults, static_cast<int>(es.size()));
+  if (removed != nullptr) removed->clear();
+  for (int i = 0; i < kill; ++i) {
+    out.remove_edge(es[static_cast<std::size_t>(i)].u, es[static_cast<std::size_t>(i)].v);
+    if (removed != nullptr) removed->push_back(es[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+graph::Graph inject_vertex_faults(const graph::Graph& g, int faults, std::uint64_t seed,
+                                  std::vector<int>* removed_vertices) {
+  if (faults < 0) throw std::invalid_argument("inject_vertex_faults: negative fault count");
+  graph::Graph out = g;
+  std::vector<int> ids(static_cast<std::size_t>(g.n()));
+  for (int i = 0; i < g.n(); ++i) ids[static_cast<std::size_t>(i)] = i;
+  std::mt19937_64 rng(seed);
+  std::shuffle(ids.begin(), ids.end(), rng);
+  const int kill = std::min<int>(faults, g.n());
+  if (removed_vertices != nullptr) removed_vertices->clear();
+  for (int i = 0; i < kill; ++i) {
+    const int victim = ids[static_cast<std::size_t>(i)];
+    // Copy the neighbor list: remove_edge mutates adjacency under iteration.
+    std::vector<int> nbrs;
+    for (const graph::Neighbor& nb : out.neighbors(victim)) nbrs.push_back(nb.to);
+    for (int to : nbrs) out.remove_edge(victim, to);
+    if (removed_vertices != nullptr) removed_vertices->push_back(victim);
+  }
+  return out;
+}
+
+}  // namespace localspan::ext

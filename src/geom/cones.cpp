@@ -1,0 +1,46 @@
+#include "geom/cones.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace localspan::geom {
+
+double max_theta_for_stretch(double t, double margin) {
+  if (t <= 1.0) throw std::invalid_argument("max_theta_for_stretch: requires t > 1");
+  if (margin <= 0.0 || margin > 1.0) {
+    throw std::invalid_argument("max_theta_for_stretch: margin must be in (0,1]");
+  }
+  const double quarter_pi = std::numbers::pi / 4.0;
+  // cos θ − sin θ = √2·cos(θ + π/4) = 1/t  =>  θ = acos(1/(t√2)) − π/4.
+  const double theta_star = std::acos(1.0 / (t * std::numbers::sqrt2)) - quarter_pi;
+  double theta = margin * theta_star;
+  // Clamp inside the open interval (0, π/4) demanded by Lemma 3.
+  if (theta >= quarter_pi) theta = 0.999 * quarter_pi;
+  return theta;
+}
+
+bool theta_valid_for_stretch(double theta, double t) noexcept {
+  if (!(theta > 0.0) || !(theta < std::numbers::pi / 4.0)) return false;
+  const double denom = std::cos(theta) - std::sin(theta);
+  return denom > 0.0 && t >= 1.0 / denom;
+}
+
+YaoCones2D::YaoCones2D(int k) : k_(k) {
+  if (k < 3) throw std::invalid_argument("YaoCones2D: need at least 3 sectors");
+}
+
+int YaoCones2D::sector_of(const Point& apex, const Point& q) const {
+  const double dx = q[0] - apex[0];
+  const double dy = q[1] - apex[1];
+  if (dx == 0.0 && dy == 0.0) {
+    throw std::invalid_argument("YaoCones2D::sector_of: q coincides with apex");
+  }
+  double ang = std::atan2(dy, dx);  // (-π, π]
+  if (ang < 0.0) ang += 2.0 * std::numbers::pi;
+  int s = static_cast<int>(ang / (2.0 * std::numbers::pi) * k_);
+  if (s == k_) s = 0;  // guard against ang == 2π after rounding
+  return s;
+}
+
+}  // namespace localspan::geom

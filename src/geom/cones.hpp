@@ -1,0 +1,44 @@
+#pragma once
+/// \file cones.hpp
+/// θ-cone utilities.
+///
+/// Two distinct uses in the paper:
+///  1. The covered-edge filter (§2.2.2) needs, for a target stretch t, an
+///     angle θ with 0 < θ < π/4 and t >= 1/(cos θ − sin θ) (Lemma 3,
+///     Czumaj–Zhao). `max_theta_for_stretch` computes the largest such θ.
+///  2. The degree proof (Theorem 11, Fig 4) partitions the unit ball into
+///     cones; the classical Yao graph baseline (experiment E6) uses the
+///     2-dimensional instance of that partition. `YaoCones2D` assigns plane
+///     vectors to k equal angular sectors.
+
+#include "geom/point.hpp"
+
+namespace localspan::geom {
+
+/// Largest θ in (0, π/4) satisfying the Czumaj–Zhao precondition
+/// t >= 1/(cos θ − sin θ), shrunk by `margin` in (0,1] for strictness.
+/// Solving cos θ − sin θ = 1/t gives θ* = acos(1/(t·√2)) − π/4.
+///
+/// \throws std::invalid_argument unless t > 1.
+[[nodiscard]] double max_theta_for_stretch(double t, double margin = 0.9);
+
+/// True iff cos θ − sin θ >= 1/t and 0 < θ < π/4 (Lemma 3 precondition).
+[[nodiscard]] bool theta_valid_for_stretch(double theta, double t) noexcept;
+
+/// Partition of the plane around an apex into k equal sectors
+/// [2πi/k, 2π(i+1)/k), used by the Yao-graph baseline.
+class YaoCones2D {
+ public:
+  /// \throws std::invalid_argument unless k >= 3.
+  explicit YaoCones2D(int k);
+
+  [[nodiscard]] int sectors() const noexcept { return k_; }
+
+  /// Sector index of the direction apex->q; requires q != apex (2-D points).
+  [[nodiscard]] int sector_of(const Point& apex, const Point& q) const;
+
+ private:
+  int k_;
+};
+
+}  // namespace localspan::geom

@@ -1,0 +1,95 @@
+#include "geom/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace localspan::geom {
+
+namespace {
+
+// Mix a (dimension, cell-coordinate) stream into a single 64-bit key.
+// Coordinates are offset to stay positive for typical workspaces; exact
+// collisions across distant cells are tolerable (buckets just merge, and the
+// distance check filters), but the constants below make them vanishingly rare.
+constexpr std::uint64_t kMix = 0x9E3779B97F4A7C15ULL;
+
+std::uint64_t hash_combine(std::uint64_t h, std::int64_t v) {
+  h ^= static_cast<std::uint64_t>(v) + kMix + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+Grid::Grid(const std::vector<Point>& points, double cell)
+    : points_(&points), cell_(cell), dim_(points.empty() ? 0 : points.front().dim()) {
+  if (points.empty()) throw std::invalid_argument("Grid: empty point set");
+  if (cell <= 0.0) throw std::invalid_argument("Grid: cell size must be positive");
+  for (const auto& p : points) {
+    if (p.dim() != dim_) throw std::invalid_argument("Grid: mixed point dimensions");
+  }
+  buckets_.reserve(points.size());
+  for (int i = 0; i < static_cast<int>(points.size()); ++i) {
+    buckets_[key_of(points[static_cast<std::size_t>(i)])].push_back(i);
+  }
+}
+
+Grid::CellKey Grid::key_of(const Point& p) const {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int k = 0; k < dim_; ++k) {
+    h = hash_combine(h, static_cast<std::int64_t>(std::floor(p[k] / cell_)));
+  }
+  return h;
+}
+
+void Grid::neighbor_cells(const Point& p, const std::function<void(CellKey)>& fn) const {
+  // Enumerate the 3^d cells around p's cell.
+  std::array<std::int64_t, kMaxDim> base{};
+  for (int k = 0; k < dim_; ++k) base[static_cast<std::size_t>(k)] = static_cast<std::int64_t>(std::floor(p[k] / cell_));
+  std::array<int, kMaxDim> off{};
+  off.fill(-1);
+  while (true) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (int k = 0; k < dim_; ++k) {
+      h = hash_combine(h, base[static_cast<std::size_t>(k)] + off[static_cast<std::size_t>(k)]);
+    }
+    fn(h);
+    int k = 0;
+    for (; k < dim_; ++k) {
+      auto& o = off[static_cast<std::size_t>(k)];
+      if (o < 1) {
+        ++o;
+        break;
+      }
+      o = -1;
+    }
+    if (k == dim_) break;
+  }
+}
+
+void Grid::for_neighbors_within(int i, double radius, const std::function<void(int)>& fn) const {
+  if (radius > cell_ * (1.0 + 1e-12)) {
+    throw std::invalid_argument("Grid::for_neighbors_within: radius exceeds cell size");
+  }
+  const Point& p = (*points_)[static_cast<std::size_t>(i)];
+  const double r2 = radius * radius;
+  neighbor_cells(p, [&](CellKey key) {
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) return;
+    for (int j : it->second) {
+      if (j == i) continue;
+      if (sq_distance(p, (*points_)[static_cast<std::size_t>(j)]) <= r2) fn(j);
+    }
+  });
+}
+
+std::vector<std::pair<int, int>> Grid::pairs_within(double radius) const {
+  std::vector<std::pair<int, int>> out;
+  for (int i = 0; i < size(); ++i) {
+    for_neighbors_within(i, radius, [&](int j) {
+      if (i < j) out.emplace_back(i, j);
+    });
+  }
+  return out;
+}
+
+}  // namespace localspan::geom

@@ -1,0 +1,68 @@
+#include "geom/point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace localspan::geom {
+
+Point::Point(int dim) : dim_(dim) {
+  if (dim < 2 || dim > kMaxDim) {
+    throw std::invalid_argument("Point: dimension must be in [2, kMaxDim]");
+  }
+}
+
+Point::Point(std::initializer_list<double> coords) : dim_(static_cast<int>(coords.size())) {
+  if (dim_ < 2 || dim_ > kMaxDim) {
+    throw std::invalid_argument("Point: dimension must be in [2, kMaxDim]");
+  }
+  std::copy(coords.begin(), coords.end(), c_.begin());
+}
+
+bool Point::operator==(const Point& o) const noexcept {
+  if (dim_ != o.dim_) return false;
+  for (int i = 0; i < dim_; ++i) {
+    if (c_[static_cast<std::size_t>(i)] != o.c_[static_cast<std::size_t>(i)]) return false;
+  }
+  return true;
+}
+
+double sq_distance(const Point& u, const Point& v) noexcept {
+  double s = 0.0;
+  for (int i = 0; i < u.dim(); ++i) {
+    const double d = u[i] - v[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double distance(const Point& u, const Point& v) noexcept { return std::sqrt(sq_distance(u, v)); }
+
+double angle_at(const Point& u, const Point& v, const Point& z) {
+  double dot = 0.0;
+  double nv = 0.0;
+  double nz = 0.0;
+  for (int i = 0; i < u.dim(); ++i) {
+    const double a = v[i] - u[i];
+    const double b = z[i] - u[i];
+    dot += a * b;
+    nv += a * a;
+    nz += b * b;
+  }
+  if (nv == 0.0 || nz == 0.0) {
+    throw std::invalid_argument("angle_at: degenerate ray (coincident points)");
+  }
+  const double cosang = std::clamp(dot / std::sqrt(nv * nz), -1.0, 1.0);
+  return std::acos(cosang);
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  os << '(';
+  for (int i = 0; i < p.dim(); ++i) {
+    if (i > 0) os << ", ";
+    os << p[i];
+  }
+  return os << ')';
+}
+
+}  // namespace localspan::geom

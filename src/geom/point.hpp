@@ -1,0 +1,61 @@
+#pragma once
+/// \file point.hpp
+/// d-dimensional Euclidean points for the alpha-UBG network model (paper §1.1).
+///
+/// The paper works in R^d for any fixed d >= 2. We store coordinates in a
+/// fixed-capacity array with a runtime dimension, which keeps the whole
+/// library non-templated on d while supporting the d in {2,3,4,...} sweeps
+/// of the evaluation (experiment E8).
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <stdexcept>
+
+namespace localspan::geom {
+
+/// Maximum supported spatial dimension. The paper needs "any fixed d >= 2";
+/// 8 comfortably covers every experiment while keeping points on the stack.
+inline constexpr int kMaxDim = 8;
+
+/// A point in d-dimensional Euclidean space (2 <= d <= kMaxDim).
+class Point {
+ public:
+  /// Origin in `dim` dimensions.
+  explicit Point(int dim);
+
+  /// From explicit coordinates; dimension is the list size.
+  Point(std::initializer_list<double> coords);
+
+  /// Dimension d of the ambient space.
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+
+  /// Coordinate access (bounds-checked in debug builds only).
+  [[nodiscard]] double operator[](int i) const noexcept { return c_[static_cast<std::size_t>(i)]; }
+  double& operator[](int i) noexcept { return c_[static_cast<std::size_t>(i)]; }
+
+  bool operator==(const Point& o) const noexcept;
+  bool operator!=(const Point& o) const noexcept { return !(*this == o); }
+
+ private:
+  std::array<double, kMaxDim> c_{};
+  int dim_;
+};
+
+/// Euclidean distance |uv| between two points of equal dimension.
+[[nodiscard]] double distance(const Point& u, const Point& v) noexcept;
+
+/// Squared Euclidean distance (cheaper; used by the spatial grid).
+[[nodiscard]] double sq_distance(const Point& u, const Point& v) noexcept;
+
+/// The angle ∠vuz at apex u formed by rays u->v and u->z, in radians in
+/// [0, pi]. Used by the covered-edge test (paper §2.2.2, Lemma 3) where an
+/// edge {u,v} is covered when some z has ∠vuz <= theta.
+///
+/// \throws std::invalid_argument if either ray is degenerate (v == u or z == u).
+[[nodiscard]] double angle_at(const Point& u, const Point& v, const Point& z);
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+}  // namespace localspan::geom

@@ -1,0 +1,27 @@
+#pragma once
+/// \file components.hpp
+/// Connected components. Phase 0 of the relaxed greedy algorithm partitions
+/// G_0 = G[E_0] into components (each of which induces a clique of G by
+/// Lemma 1) and spans each one independently with SEQ-GREEDY.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace localspan::graph {
+
+/// Labeling of each vertex with a component id in [0, count).
+struct Components {
+  std::vector<int> label;
+  int count = 0;
+
+  /// Vertices of each component, grouped (index = component id).
+  [[nodiscard]] std::vector<std::vector<int>> groups() const;
+};
+
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// True iff u and v are in the same component of g.
+[[nodiscard]] bool connected(const Graph& g, int u, int v);
+
+}  // namespace localspan::graph

@@ -1,0 +1,48 @@
+#pragma once
+/// \file dijkstra.hpp
+/// Shortest-path machinery.
+///
+/// Every shortest-path question in the paper is *radius-bounded*: cluster
+/// covers explore to δW_{i-1} (§2.2.1), cluster-graph construction to
+/// (2δ+1)W_{i-1} (Lemma 5), queries to t·|xy| (§2.2.4). We therefore expose
+/// bounded Dijkstra variants that stop expanding past the bound — this is
+/// both the asymptotic trick of Das–Narasimhan and what keeps the phased
+/// algorithm near-linear in practice.
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace localspan::graph {
+
+/// Distance value meaning "unreachable (within the bound)".
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Result of a (possibly bounded) single-source run.
+struct ShortestPaths {
+  std::vector<double> dist;  ///< dist[v] = sp(src, v), kInf if not settled.
+  std::vector<int> parent;   ///< parent[v] on a shortest path tree, -1 at roots/unreached.
+};
+
+/// Single-source Dijkstra from src over the whole graph.
+[[nodiscard]] ShortestPaths dijkstra(const Graph& g, int src);
+
+/// Single-source Dijkstra that settles only vertices with sp(src,v) <= radius.
+/// All other vertices report kInf. Cost is proportional to the ball explored.
+[[nodiscard]] ShortestPaths dijkstra_bounded(const Graph& g, int src, double radius);
+
+/// sp(u, v), or kInf if it exceeds `bound`. Early-exits as soon as v is
+/// settled or the frontier minimum passes the bound.
+[[nodiscard]] double sp_distance(const Graph& g, int u, int v, double bound = kInf);
+
+/// Vertices within `k` hops of src (unweighted BFS ball), including src.
+/// Models the "gather information from <= k hops away" primitive that the
+/// distributed algorithm uses throughout §3.
+[[nodiscard]] std::vector<int> khop_ball(const Graph& g, int src, int k);
+
+/// Hop count of the shortest *weighted* path realizing dist via `parent`,
+/// or -1 if v was not reached. Used to validate Lemma 8 / Theorem 9.
+[[nodiscard]] int path_hops(const ShortestPaths& sp, int v);
+
+}  // namespace localspan::graph

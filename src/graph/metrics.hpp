@@ -1,0 +1,64 @@
+#pragma once
+/// \file metrics.hpp
+/// Measurement of the three spanner properties the paper guarantees —
+/// stretch (Theorem 10), degree (Theorem 11), weight (Theorem 13) — plus the
+/// §1.6 power-cost measure, the (t2,t)-leapfrog property that drives the
+/// weight proof, and a doubling-dimension estimator for the derived graphs
+/// of Lemmas 15 and 20.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace localspan::graph {
+
+/// Max over edges {u,v} of g of sp_sub(u,v)/w(u,v), with per-edge ratios
+/// clamped at `cap` (a ratio reported as `cap` means "at least cap", which is
+/// all a bounded-stretch validation needs and keeps the measurement cheap).
+/// For subgraphs of g this equals the classical spanner stretch factor:
+/// sp_sub(u,v) <= t·sp_g(u,v) for all pairs iff it holds for all edges of g.
+[[nodiscard]] double max_edge_stretch(const Graph& g, const Graph& sub, double cap = 64.0);
+
+/// Stretch over `samples` random vertex pairs (ratio of sp_sub to sp_g);
+/// pairs disconnected in g are skipped. Cross-validates max_edge_stretch.
+[[nodiscard]] double sampled_pair_stretch(const Graph& g, const Graph& sub, int samples,
+                                          std::uint64_t seed);
+
+/// Degree distribution summary.
+struct DegreeStats {
+  int max = 0;
+  double mean = 0.0;
+  int p99 = 0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// w(sub) / w(MSF(g)) — the lightness ratio of Theorem 13 (>= 1 for any
+/// spanning subgraph; O(1) is the guarantee).
+[[nodiscard]] double lightness(const Graph& g, const Graph& sub);
+
+/// Power cost of §1.6: sum over vertices of the heaviest incident edge
+/// (transmission power needed to reach the farthest chosen neighbor).
+/// Isolated vertices contribute zero.
+[[nodiscard]] double power_cost(const Graph& g);
+
+/// Sampled check of the (t2,t)-leapfrog property (paper eq. (6), Fig 4b) on
+/// the edge set of `sub` embedded via `pts_dist(u,v)` = Euclidean distance.
+/// Draws `trials` random subsets S (2 <= |S| <= 6) of edges and counts
+/// violations of
+///   t2·|u1v1| < Σ_{i>=2} |u_i v_i| + t·(Σ |v_i u_{i+1}| + |v_s u_1|)
+/// where {u1,v1} is the longest edge of S. Returns the violation count.
+[[nodiscard]] int leapfrog_violations(
+    const Graph& sub, const std::function<double(int, int)>& pts_dist, double t2, double t,
+    int trials, std::uint64_t seed);
+
+/// Greedy estimate of the doubling dimension of a finite metric given by a
+/// symmetric distance matrix: log2 of the max, over sampled balls B(x,R), of
+/// the number of (R/2)-balls a greedy cover needs. Lemmas 15/20 predict an
+/// O(1) result for the derived conflict graphs J.
+[[nodiscard]] double doubling_dimension_estimate(const std::vector<std::vector<double>>& dist,
+                                                 int ball_samples, std::uint64_t seed);
+
+}  // namespace localspan::graph

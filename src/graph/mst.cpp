@@ -1,0 +1,22 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+
+#include "graph/union_find.hpp"
+
+namespace localspan::graph {
+
+Graph minimum_spanning_forest(const Graph& g) {
+  std::vector<Edge> es = g.edges();
+  std::sort(es.begin(), es.end(), [](const Edge& a, const Edge& b) { return a.w < b.w; });
+  UnionFind uf(g.n());
+  Graph forest(g.n());
+  for (const Edge& e : es) {
+    if (uf.unite(e.u, e.v)) forest.add_edge(e.u, e.v, e.w);
+  }
+  return forest;
+}
+
+double msf_weight(const Graph& g) { return minimum_spanning_forest(g).total_weight(); }
+
+}  // namespace localspan::graph

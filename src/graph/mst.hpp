@@ -1,0 +1,20 @@
+#pragma once
+/// \file mst.hpp
+/// Minimum spanning forest via Kruskal.
+///
+/// The paper's lightness guarantee is w(G') = O(w(MST(G))) (Theorem 13) and
+/// w(MST) lower-bounds the weight of *any* spanner, so the MSF is both the
+/// normalizer of experiment E3 and a baseline row of E6. On disconnected
+/// inputs the minimum spanning *forest* plays the MST's role component-wise.
+
+#include "graph/graph.hpp"
+
+namespace localspan::graph {
+
+/// Minimum spanning forest of g (equals the MST when g is connected).
+[[nodiscard]] Graph minimum_spanning_forest(const Graph& g);
+
+/// w(MSF(g)) without materializing the forest.
+[[nodiscard]] double msf_weight(const Graph& g);
+
+}  // namespace localspan::graph

@@ -1,0 +1,45 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace localspan::graph {
+
+UnionFind::UnionFind(int n)
+    : parent_(static_cast<std::size_t>(n)),
+      rank_(static_cast<std::size_t>(n), 0),
+      size_(static_cast<std::size_t>(n), 1),
+      components_(n) {
+  if (n < 0) throw std::invalid_argument("UnionFind: negative size");
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::find(int x) {
+  if (x < 0 || x >= static_cast<int>(parent_.size())) {
+    throw std::invalid_argument("UnionFind::find: out of range");
+  }
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    auto& p = parent_[static_cast<std::size_t>(x)];
+    p = parent_[static_cast<std::size_t>(p)];  // path halving
+    x = p;
+  }
+  return x;
+}
+
+bool UnionFind::unite(int a, int b) {
+  int ra = find(a);
+  int rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[static_cast<std::size_t>(ra)] < rank_[static_cast<std::size_t>(rb)]) std::swap(ra, rb);
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+  if (rank_[static_cast<std::size_t>(ra)] == rank_[static_cast<std::size_t>(rb)]) {
+    ++rank_[static_cast<std::size_t>(ra)];
+  }
+  --components_;
+  return true;
+}
+
+int UnionFind::size_of(int x) { return size_[static_cast<std::size_t>(find(x))]; }
+
+}  // namespace localspan::graph

@@ -1,0 +1,36 @@
+#pragma once
+/// \file union_find.hpp
+/// Disjoint-set forest with union by rank and path halving.
+/// Substrate for Kruskal's MSF and for connected-component bookkeeping in
+/// phase 0 (Lemma 1: components of G_0 induce cliques).
+
+#include <vector>
+
+namespace localspan::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n);
+
+  /// Representative of x's set.
+  [[nodiscard]] int find(int x);
+
+  /// Merge the sets of a and b. \returns true if they were distinct.
+  bool unite(int a, int b);
+
+  [[nodiscard]] bool same(int a, int b) { return find(a) == find(b); }
+
+  /// Number of disjoint sets remaining.
+  [[nodiscard]] int components() const noexcept { return components_; }
+
+  /// Size of x's set.
+  [[nodiscard]] int size_of(int x);
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  std::vector<int> size_;
+  int components_;
+};
+
+}  // namespace localspan::graph

@@ -1,0 +1,132 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace localspan::io {
+
+namespace {
+
+constexpr const char* kMagic = "localspan-instance";
+constexpr int kVersion = 1;
+
+ubg::Placement placement_from_int(int v) {
+  switch (v) {
+    case 0: return ubg::Placement::kUniform;
+    case 1: return ubg::Placement::kClustered;
+    case 2: return ubg::Placement::kCorridor;
+    default: throw std::runtime_error("read_instance: unknown placement code");
+  }
+}
+
+int placement_to_int(ubg::Placement p) {
+  switch (p) {
+    case ubg::Placement::kUniform: return 0;
+    case ubg::Placement::kClustered: return 1;
+    case ubg::Placement::kCorridor: return 2;
+  }
+  return 0;
+}
+
+void expect(bool ok, const char* what) {
+  if (!ok) throw std::runtime_error(std::string("read_instance: malformed input: ") + what);
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const ubg::UbgInstance& inst) {
+  const ubg::UbgConfig& c = inst.config;
+  // max_digits10 decimal digits round-trip IEEE doubles exactly (and, unlike
+  // hexfloat, stream extraction can read them back).
+  os << std::setprecision(17);
+  os << kMagic << " v" << kVersion << "\n";
+  os << c.n << ' ' << c.dim << ' ' << c.alpha << ' ' << c.side << ' ' << c.target_degree << ' '
+     << placement_to_int(c.placement) << ' ' << c.seed << "\n";
+  for (const auto& p : inst.points) {
+    for (int k = 0; k < p.dim(); ++k) os << (k ? " " : "") << p[k];
+    os << "\n";
+  }
+  os << inst.g.m() << "\n";
+  for (const graph::Edge& e : inst.g.edges()) {
+    os << e.u << ' ' << e.v << ' ' << e.w << "\n";
+  }
+}
+
+ubg::UbgInstance read_instance(std::istream& is) {
+  std::string magic;
+  std::string version;
+  expect(static_cast<bool>(is >> magic >> version), "header");
+  expect(magic == kMagic, "magic");
+  expect(version == "v" + std::to_string(kVersion), "version");
+  ubg::UbgConfig cfg;
+  int placement_code = 0;
+  expect(static_cast<bool>(is >> cfg.n >> cfg.dim >> cfg.alpha >> cfg.side >>
+                           cfg.target_degree >> placement_code >> cfg.seed),
+         "config");
+  cfg.placement = placement_from_int(placement_code);
+  expect(cfg.n > 0 && cfg.dim >= 2 && cfg.dim <= geom::kMaxDim, "config ranges");
+
+  ubg::UbgInstance inst{cfg, {}, graph::Graph(cfg.n)};
+  inst.points.reserve(static_cast<std::size_t>(cfg.n));
+  for (int i = 0; i < cfg.n; ++i) {
+    geom::Point p(cfg.dim);
+    for (int k = 0; k < cfg.dim; ++k) expect(static_cast<bool>(is >> p[k]), "point coordinate");
+    inst.points.push_back(p);
+  }
+  int m = 0;
+  expect(static_cast<bool>(is >> m) && m >= 0, "edge count");
+  for (int i = 0; i < m; ++i) {
+    int u = 0;
+    int v = 0;
+    double w = 0.0;
+    expect(static_cast<bool>(is >> u >> v >> w), "edge");
+    inst.g.add_edge(u, v, w);
+  }
+  return inst;
+}
+
+void save_instance(const std::string& path, const ubg::UbgInstance& inst) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_instance: cannot open " + path);
+  write_instance(os, inst);
+  if (!os) throw std::runtime_error("save_instance: write failed for " + path);
+}
+
+ubg::UbgInstance load_instance(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_instance: cannot open " + path);
+  return read_instance(is);
+}
+
+void write_dot(std::ostream& os, const ubg::UbgInstance& inst, const graph::Graph& topo,
+               const graph::Graph* highlight) {
+  os << "graph localspan {\n  node [shape=point, width=0.06];\n";
+  // neato -n2 respects pos="x,y!"; scale up for readability.
+  const double scale = 100.0;
+  for (int v = 0; v < topo.n(); ++v) {
+    const auto& p = inst.points[static_cast<std::size_t>(v)];
+    os << "  " << v << " [pos=\"" << p[0] * scale << ',' << p[1] * scale << "!\"];\n";
+  }
+  for (const graph::Edge& e : topo.edges()) {
+    os << "  " << e.u << " -- " << e.v;
+    if (highlight != nullptr && highlight->has_edge(e.u, e.v)) {
+      os << " [color=red, penwidth=2.0]";
+    } else {
+      os << " [color=gray80]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_edge_csv(std::ostream& os, const graph::Graph& g) {
+  os << "u,v,weight\n";
+  for (const graph::Edge& e : g.edges()) {
+    os << e.u << ',' << e.v << ',' << e.w << "\n";
+  }
+}
+
+}  // namespace localspan::io

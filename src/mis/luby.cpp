@@ -1,0 +1,99 @@
+#include "mis/luby.hpp"
+
+#include <algorithm>
+
+#include "runtime/network.hpp"
+
+namespace localspan::mis {
+
+namespace {
+
+constexpr int kMark = 1;
+constexpr int kJoin = 2;
+
+/// splitmix64 of the (seed, iteration, node) triple -> uniform double in [0,1).
+double node_value(std::uint64_t seed, int iteration, int node) {
+  std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(iteration) + 1) +
+                    0xD1B54A32D192ED03ULL * (static_cast<std::uint64_t>(node) + 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+enum class State { kActive, kInMis, kOut };
+
+}  // namespace
+
+std::vector<int> luby_mis(const graph::Graph& g, std::uint64_t seed, LubyStats* stats,
+                          runtime::RoundLedger* ledger, const std::string& section) {
+  const int n = g.n();
+  runtime::SyncNetwork net(g, ledger, section);
+  std::vector<State> state(static_cast<std::size_t>(n), State::kActive);
+  std::vector<double> my_value(static_cast<std::size_t>(n), 0.0);
+  int active = n;
+  int iteration = 0;
+
+  while (active > 0) {
+    ++iteration;
+    // Sub-round 1: undecided nodes broadcast their drawn values.
+    for (int v = 0; v < n; ++v) {
+      if (state[static_cast<std::size_t>(v)] != State::kActive) continue;
+      my_value[static_cast<std::size_t>(v)] = node_value(seed, iteration, v);
+      net.broadcast(v, {kMark, my_value[static_cast<std::size_t>(v)], v});
+    }
+    net.end_round();
+
+    // Decide: strict (value, id)-local-minimum among still-active neighbors
+    // joins. Only active nodes broadcast marks, so the inbox is exactly the
+    // active neighborhood.
+    std::vector<char> joining(static_cast<std::size_t>(n), 0);
+    for (int v = 0; v < n; ++v) {
+      if (state[static_cast<std::size_t>(v)] != State::kActive) continue;
+      bool wins = true;
+      for (const auto& [from, p] : net.inbox(v)) {
+        if (p.kind != kMark) continue;
+        if (std::pair(p.value, from) < std::pair(my_value[static_cast<std::size_t>(v)], v)) {
+          wins = false;
+          break;
+        }
+      }
+      joining[static_cast<std::size_t>(v)] = wins ? 1 : 0;
+    }
+
+    // Sub-round 2: winners announce; dominated neighbors retire.
+    for (int v = 0; v < n; ++v) {
+      if (joining[static_cast<std::size_t>(v)]) net.broadcast(v, {kJoin, 0.0, v});
+    }
+    net.end_round();
+    for (int v = 0; v < n; ++v) {
+      if (state[static_cast<std::size_t>(v)] != State::kActive) continue;
+      if (joining[static_cast<std::size_t>(v)]) {
+        state[static_cast<std::size_t>(v)] = State::kInMis;
+        --active;
+        continue;
+      }
+      for (const auto& [from, p] : net.inbox(v)) {
+        (void)from;
+        if (p.kind == kJoin) {
+          state[static_cast<std::size_t>(v)] = State::kOut;
+          --active;
+          break;
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iteration;
+    stats->network_rounds = net.rounds();
+    stats->messages = net.messages();
+  }
+  std::vector<int> out;
+  for (int v = 0; v < n; ++v) {
+    if (state[static_cast<std::size_t>(v)] == State::kInMis) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace localspan::mis

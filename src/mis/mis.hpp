@@ -1,0 +1,22 @@
+#pragma once
+/// \file mis.hpp
+/// Maximal independent sets. Both MIS consumers in the paper (cluster-cover
+/// centers §3.2.1, redundant-edge thinning §2.2.5/§3.2.5) only need *some*
+/// MIS; the sequential driver uses the deterministic greedy MIS below, the
+/// distributed driver runs Luby's algorithm on the simulator (luby.hpp).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace localspan::mis {
+
+/// Deterministic greedy MIS: scan vertices in increasing id, add a vertex
+/// when none of its neighbors was added. O(n + m), always maximal.
+[[nodiscard]] std::vector<int> greedy_mis(const graph::Graph& g);
+
+/// True iff `set` is independent in g and maximal (every vertex outside has
+/// a neighbor inside).
+[[nodiscard]] bool is_maximal_independent_set(const graph::Graph& g, const std::vector<int>& set);
+
+}  // namespace localspan::mis

@@ -1,0 +1,86 @@
+#include "route/routing.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "geom/point.hpp"
+#include "graph/dijkstra.hpp"
+
+namespace localspan::route {
+
+RouteResult route_packet(const ubg::UbgInstance& inst, const graph::Graph& topo, int s, int d,
+                         Forwarding rule, int max_hops) {
+  if (s < 0 || s >= topo.n() || d < 0 || d >= topo.n()) {
+    throw std::invalid_argument("route_packet: endpoint out of range");
+  }
+  RouteResult res;
+  res.path.push_back(s);
+  int cur = s;
+  while (cur != d && res.hops < max_hops) {
+    const double here = inst.dist(cur, d);
+    int best = -1;
+    double best_key = 0.0;
+    for (const graph::Neighbor& nb : topo.neighbors(cur)) {
+      if (nb.to == d) {
+        best = d;
+        break;
+      }
+      double key = 0.0;
+      if (rule == Forwarding::kGreedy) {
+        key = inst.dist(nb.to, d);
+        if (key >= here) continue;  // must make geometric progress
+      } else {
+        // Compass: smallest angle to the cur->d ray, progress-gated the same
+        // way to guarantee termination on arbitrary graphs.
+        if (inst.dist(nb.to, d) >= here) continue;
+        key = geom::angle_at(inst.points[static_cast<std::size_t>(cur)],
+                             inst.points[static_cast<std::size_t>(d)],
+                             inst.points[static_cast<std::size_t>(nb.to)]);
+      }
+      if (best == -1 || key < best_key) {
+        best = nb.to;
+        best_key = key;
+      }
+    }
+    if (best == -1) return res;  // local minimum: undeliverable by this rule
+    res.length += inst.dist(cur, best);
+    cur = best;
+    res.path.push_back(cur);
+    ++res.hops;
+  }
+  res.delivered = cur == d;
+  return res;
+}
+
+RoutingStats evaluate_routing(const ubg::UbgInstance& inst, const graph::Graph& topo,
+                              Forwarding rule, int trials, std::uint64_t seed) {
+  if (trials <= 0) throw std::invalid_argument("evaluate_routing: trials must be positive");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, topo.n() - 1);
+  RoutingStats st;
+  double hops_sum = 0.0;
+  double stretch_sum = 0.0;
+  while (st.trials < trials) {
+    const int s = pick(rng);
+    const int d = pick(rng);
+    if (s == d) continue;
+    const graph::ShortestPaths sp = graph::dijkstra(topo, s);
+    if (sp.dist[static_cast<std::size_t>(d)] == graph::kInf) continue;  // different components
+    ++st.trials;
+    const RouteResult r = route_packet(inst, topo, s, d, rule);
+    if (!r.delivered) continue;
+    ++st.delivered;
+    hops_sum += r.hops;
+    const double ratio = r.length / sp.dist[static_cast<std::size_t>(d)];
+    stretch_sum += ratio;
+    st.worst_route_stretch = std::max(st.worst_route_stretch, ratio);
+  }
+  st.delivery_rate = st.trials > 0 ? static_cast<double>(st.delivered) / st.trials : 0.0;
+  if (st.delivered > 0) {
+    st.mean_hops = hops_sum / st.delivered;
+    st.mean_route_stretch = stretch_sum / st.delivered;
+  }
+  return st;
+}
+
+}  // namespace localspan::route

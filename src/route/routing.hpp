@@ -1,0 +1,54 @@
+#pragma once
+/// \file routing.hpp
+/// Geometric routing on topology-control outputs.
+///
+/// §1.3 motivates topology control partly by routing: memoryless geometric
+/// routing (GPSR [9]) forwards greedily toward the destination and fails at
+/// local minima. Spanners change the trade-off: they keep short detours
+/// available so greedy progress rarely strands, and when it succeeds the
+/// route length is competitive. This module implements greedy and compass
+/// forwarding plus a Monte-Carlo evaluation harness (experiment E13).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ubg/generator.hpp"
+
+namespace localspan::route {
+
+/// Forwarding rules.
+enum class Forwarding {
+  kGreedy,   ///< neighbor geographically closest to the destination.
+  kCompass,  ///< neighbor minimizing the angle to the destination ray.
+};
+
+/// One routed packet.
+struct RouteResult {
+  bool delivered = false;
+  int hops = 0;
+  double length = 0.0;       ///< total Euclidean length of the traversed path.
+  std::vector<int> path;     ///< visited vertices, starting at the source.
+};
+
+/// Route one packet from s to d over `topo` using the given rule. The packet
+/// fails (delivered=false) at a local minimum — a node with no neighbor
+/// making progress — or after `max_hops`.
+[[nodiscard]] RouteResult route_packet(const ubg::UbgInstance& inst, const graph::Graph& topo,
+                                       int s, int d, Forwarding rule, int max_hops = 10000);
+
+/// Aggregate routing quality over random connected source-destination pairs.
+struct RoutingStats {
+  int trials = 0;
+  int delivered = 0;
+  double delivery_rate = 0.0;
+  double mean_hops = 0.0;           ///< over delivered packets.
+  double mean_route_stretch = 0.0;  ///< route length / shortest-path length in topo.
+  double worst_route_stretch = 0.0;
+};
+
+[[nodiscard]] RoutingStats evaluate_routing(const ubg::UbgInstance& inst,
+                                            const graph::Graph& topo, Forwarding rule,
+                                            int trials, std::uint64_t seed);
+
+}  // namespace localspan::route

@@ -1,0 +1,61 @@
+#pragma once
+/// \file network.hpp
+/// A synchronous message-passing network simulator (the model of §1.1).
+///
+/// Nodes stage messages to neighbors during a round; `end_round()` delivers
+/// them simultaneously and charges the ledger. Only topology neighbors can
+/// talk — exactly the LOCAL-model constraint. Algorithms that run on derived
+/// graphs (the conflict graphs J of §3.2.1/§3.2.5, whose "edges" are
+/// constant-hop paths of G) instantiate a SyncNetwork over the derived
+/// topology and scale the charged rounds by the hop factor.
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/ledger.hpp"
+
+namespace localspan::runtime {
+
+/// Wire format: a small tagged value, enough for the MIS and gather
+/// protocols the paper's algorithm needs (message size O(log n) as required).
+struct Packet {
+  int kind = 0;
+  double value = 0.0;
+  int from_payload = 0;  ///< optional secondary field (ids etc.).
+};
+
+class SyncNetwork {
+ public:
+  /// \param topo   communication topology (must outlive the network).
+  /// \param ledger ledger charged one round per end_round(); may be null.
+  /// \param section ledger section name for charges.
+  SyncNetwork(const graph::Graph& topo, RoundLedger* ledger, std::string section);
+
+  /// Stage a message for delivery at the end of this round.
+  /// \throws std::invalid_argument if {from,to} is not an edge of the topology.
+  void send(int from, int to, const Packet& p);
+
+  /// Stage the same message to every neighbor of `from`.
+  void broadcast(int from, const Packet& p);
+
+  /// Deliver all staged messages; increments the round counter.
+  void end_round();
+
+  /// Messages delivered to v in the previous round, as (sender, packet).
+  [[nodiscard]] const std::vector<std::pair<int, Packet>>& inbox(int v) const;
+
+  [[nodiscard]] long long rounds() const noexcept { return rounds_; }
+  [[nodiscard]] long long messages() const noexcept { return messages_; }
+
+ private:
+  const graph::Graph& topo_;
+  RoundLedger* ledger_;
+  std::string section_;
+  std::vector<std::vector<std::pair<int, Packet>>> inbox_;
+  std::vector<std::vector<std::pair<int, Packet>>> outbox_;
+  long long rounds_ = 0;
+  long long messages_ = 0;
+};
+
+}  // namespace localspan::runtime

@@ -1,0 +1,126 @@
+#include "ubg/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+#include "geom/grid.hpp"
+
+namespace localspan::ubg {
+
+double ball_volume(int dim, double r) {
+  if (dim < 1) throw std::invalid_argument("ball_volume: dim must be >= 1");
+  const double d = static_cast<double>(dim);
+  return std::pow(std::numbers::pi, d / 2.0) * std::pow(r, d) / std::tgamma(d / 2.0 + 1.0);
+}
+
+namespace {
+
+double auto_side(const UbgConfig& cfg) {
+  // E[#alpha-neighbors] ~= n * vol(alpha) / side^dim = target_degree.
+  const double vol = ball_volume(cfg.dim, cfg.alpha);
+  const double volume_needed = cfg.n * vol / cfg.target_degree;
+  return std::max(1.0, std::pow(volume_needed, 1.0 / cfg.dim));
+}
+
+std::vector<geom::Point> place_points(const UbgConfig& cfg, double side) {
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<double> unit(0.0, side);
+  std::vector<geom::Point> pts;
+  pts.reserve(static_cast<std::size_t>(cfg.n));
+  switch (cfg.placement) {
+    case Placement::kUniform: {
+      for (int i = 0; i < cfg.n; ++i) {
+        geom::Point p(cfg.dim);
+        for (int k = 0; k < cfg.dim; ++k) p[k] = unit(rng);
+        pts.push_back(p);
+      }
+      break;
+    }
+    case Placement::kClustered: {
+      const int hubs = std::max(1, cfg.n / 48);
+      std::vector<geom::Point> centers;
+      for (int h = 0; h < hubs; ++h) {
+        geom::Point c(cfg.dim);
+        for (int k = 0; k < cfg.dim; ++k) c[k] = unit(rng);
+        centers.push_back(c);
+      }
+      std::normal_distribution<double> blob(0.0, cfg.alpha);
+      std::uniform_int_distribution<int> pick(0, hubs - 1);
+      for (int i = 0; i < cfg.n; ++i) {
+        const geom::Point& c = centers[static_cast<std::size_t>(pick(rng))];
+        geom::Point p(cfg.dim);
+        for (int k = 0; k < cfg.dim; ++k) p[k] = std::clamp(c[k] + blob(rng), 0.0, side);
+        pts.push_back(p);
+      }
+      break;
+    }
+    case Placement::kCorridor: {
+      // A strip: full length along axis 0, width 2*alpha in the others.
+      const double width = 2.0 * cfg.alpha;
+      std::uniform_real_distribution<double> across(0.0, width);
+      // Stretch the long axis so total area matches the uniform workload.
+      const double length = std::pow(side, cfg.dim) / std::pow(width, cfg.dim - 1);
+      std::uniform_real_distribution<double> along(0.0, length);
+      for (int i = 0; i < cfg.n; ++i) {
+        geom::Point p(cfg.dim);
+        p[0] = along(rng);
+        for (int k = 1; k < cfg.dim; ++k) p[k] = across(rng);
+        pts.push_back(p);
+      }
+      break;
+    }
+  }
+  return pts;
+}
+
+}  // namespace
+
+UbgInstance make_ubg(const UbgConfig& cfg, const GrayZonePolicy& policy) {
+  if (cfg.n <= 0) throw std::invalid_argument("make_ubg: n must be positive");
+  if (cfg.dim < 2 || cfg.dim > geom::kMaxDim) {
+    throw std::invalid_argument("make_ubg: dim out of range");
+  }
+  if (!(cfg.alpha > 0.0) || cfg.alpha > 1.0) {
+    throw std::invalid_argument("make_ubg: alpha must be in (0, 1]");
+  }
+  if (cfg.side < 0.0) throw std::invalid_argument("make_ubg: negative side");
+
+  UbgInstance inst{cfg, {}, graph::Graph(cfg.n)};
+  const double side = cfg.side > 0.0 ? cfg.side : auto_side(cfg);
+  inst.config.side = side;
+  inst.points = place_points(cfg, side);
+
+  const geom::Grid grid(inst.points, 1.0);
+  for (const auto& [u, v] : grid.pairs_within(1.0)) {
+    const double d = inst.dist(u, v);
+    if (d <= cfg.alpha || policy.connect(u, v, d)) {
+      // Zero-distance duplicates would make an illegal zero-weight edge;
+      // nudge to a tiny positive weight (coincident radios still talk).
+      inst.g.add_edge(u, v, std::max(d, 1e-12));
+    }
+  }
+  return inst;
+}
+
+UbgInstance make_ubg(const UbgConfig& cfg) {
+  const auto policy = always_connect();
+  return make_ubg(cfg, *policy);
+}
+
+bool is_valid_ubg(const UbgInstance& inst) {
+  const int n = inst.g.n();
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double d = inst.dist(u, v);
+      const bool e = inst.g.has_edge(u, v);
+      if (d <= inst.config.alpha && !e) return false;
+      if (d > 1.0 && e) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace localspan::ubg

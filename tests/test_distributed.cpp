@@ -1,0 +1,147 @@
+// Tests for the distributed relaxed greedy algorithm (§3): same three
+// spanner properties as the sequential algorithm plus round accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distributed.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "ubg/generator.hpp"
+
+namespace core = localspan::core;
+namespace gr = localspan::graph;
+namespace ub = localspan::ubg;
+
+namespace {
+
+ub::UbgInstance instance(std::uint64_t seed, int n = 150, double alpha = 0.75) {
+  ub::UbgConfig cfg;
+  cfg.n = n;
+  cfg.alpha = alpha;
+  cfg.seed = seed;
+  return ub::make_ubg(cfg);
+}
+
+}  // namespace
+
+struct DistCase {
+  double eps;
+  double alpha;
+  std::uint64_t seed;
+};
+
+class DistributedEndToEnd : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributedEndToEnd, ThreePropertiesHold) {
+  const auto& c = GetParam();
+  const auto inst = instance(c.seed, 140, c.alpha);
+  const core::Params params = core::Params::practical_params(c.eps, c.alpha);
+  const auto result = core::distributed_relaxed_greedy(inst, params, {}, c.seed);
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.base.spanner), params.t * (1.0 + 1e-9));
+  EXPECT_LE(result.base.spanner.max_degree(), 48);
+  EXPECT_LE(gr::lightness(inst.g, result.base.spanner), 8.0);
+  for (const gr::Edge& e : result.base.spanner.edges()) {
+    EXPECT_TRUE(inst.g.has_edge(e.u, e.v));
+  }
+  EXPECT_EQ(gr::connected_components(inst.g).count,
+            gr::connected_components(result.base.spanner).count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistributedEndToEnd,
+                         ::testing::Values(DistCase{0.5, 0.75, 1}, DistCase{0.25, 0.75, 2},
+                                           DistCase{1.0, 0.6, 3}, DistCase{0.5, 0.5, 4},
+                                           DistCase{0.5, 1.0, 5}));
+
+TEST(Distributed, StrictParamsAlsoWork) {
+  const auto inst = instance(9, 100);
+  const core::Params params = core::Params::strict_params(0.5, 0.75);
+  const auto result = core::distributed_relaxed_greedy(inst, params, {}, 9);
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.base.spanner), params.t * (1.0 + 1e-9));
+}
+
+TEST(Distributed, DeterministicPerSeed) {
+  const auto inst = instance(11, 120);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto r1 = core::distributed_relaxed_greedy(inst, params, {}, 77);
+  const auto r2 = core::distributed_relaxed_greedy(inst, params, {}, 77);
+  EXPECT_EQ(r1.base.spanner, r2.base.spanner);
+  EXPECT_EQ(r1.net.rounds_measured, r2.net.rounds_measured);
+  EXPECT_EQ(r1.net.messages, r2.net.messages);
+}
+
+TEST(Distributed, RoundAccountingIsConsistent) {
+  const auto inst = instance(13, 120);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto result = core::distributed_relaxed_greedy(inst, params, {}, 5);
+  EXPECT_GT(result.net.rounds_measured, 0);
+  EXPECT_GT(result.net.messages, 0);
+  EXPECT_EQ(result.net.per_phase.size(),
+            result.base.phases.size() - 1);  // one entry per nonempty bin
+  long long sum = 3;                         // phase 0
+  for (const core::PhaseRounds& pr : result.net.per_phase) {
+    EXPECT_GT(pr.cover, 0);
+    EXPECT_GT(pr.select, 0);
+    EXPECT_GT(pr.cluster_graph, 0);
+    EXPECT_GT(pr.query, 0);
+    EXPECT_GE(pr.redundancy, 0);
+    sum += pr.total_measured();
+  }
+  EXPECT_EQ(sum, result.net.rounds_measured);
+  // The ledger agrees with the stats.
+  EXPECT_EQ(result.ledger.rounds(), result.net.rounds_measured);
+  EXPECT_EQ(result.ledger.messages(), result.net.messages);
+}
+
+TEST(Distributed, KmwModelIsPolylog) {
+  // The KMW-model rounds should be within a polylog factor of log n * log* n
+  // times the number of phases; sanity-check the scale.
+  const auto inst = instance(15, 200);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto result = core::distributed_relaxed_greedy(inst, params, {}, 5);
+  EXPECT_GT(result.net.rounds_kmw_model, 0);
+  const double n = 200;
+  const double budget =
+      80.0 * std::log2(n) * core::log_star(n);  // generous constant
+  EXPECT_LE(static_cast<double>(result.net.rounds_kmw_model), budget);
+}
+
+TEST(Distributed, MisInvocationsArePerPhaseBounded) {
+  const auto inst = instance(17, 120);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto result = core::distributed_relaxed_greedy(inst, params, {}, 3);
+  // At most two MIS runs per nonempty phase (cover + redundancy).
+  EXPECT_LE(result.net.mis_invocations, 2 * result.base.nonempty_bins);
+  EXPECT_GE(result.net.mis_invocations, result.base.nonempty_bins);
+  EXPECT_GT(result.net.max_luby_iterations, 0);
+}
+
+TEST(Distributed, DisabledRedundancySkipsThoseRounds) {
+  const auto inst = instance(19, 120);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  core::RelaxedGreedyOptions opts;
+  opts.redundancy_removal = false;
+  const auto result = core::distributed_relaxed_greedy(inst, params, opts, 3);
+  for (const core::PhaseRounds& pr : result.net.per_phase) EXPECT_EQ(pr.redundancy, 0);
+  for (const core::PhaseStats& st : result.base.phases) EXPECT_EQ(st.removed, 0);
+}
+
+TEST(Distributed, RejectsAlphaMismatch) {
+  const auto inst = instance(21, 60, 0.75);
+  const core::Params params = core::Params::practical_params(0.5, 0.6);
+  EXPECT_THROW(static_cast<void>(core::distributed_relaxed_greedy(inst, params)),
+               std::invalid_argument);
+}
+
+TEST(Distributed, SmallAndSparseInstances) {
+  // n=2 with a single edge; phase 0 or a single bin, must not crash.
+  ub::UbgConfig cfg;
+  cfg.n = 2;
+  cfg.alpha = 1.0;
+  cfg.side = 0.5;
+  cfg.seed = 1;
+  const auto inst = ub::make_ubg(cfg);
+  const core::Params params = core::Params::practical_params(0.5, 1.0);
+  const auto result = core::distributed_relaxed_greedy(inst, params, {}, 1);
+  EXPECT_EQ(result.base.spanner.m(), inst.g.m());  // nothing to prune at n=2
+}

@@ -1,0 +1,193 @@
+// Unit tests for the geometry substrate: points, angles, θ derivation,
+// Yao cones, and the spatial hash grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "geom/cones.hpp"
+#include "geom/grid.hpp"
+#include "geom/point.hpp"
+
+namespace g = localspan::geom;
+
+TEST(Point, ConstructionAndAccess) {
+  g::Point p{1.0, 2.0, 3.0};
+  EXPECT_EQ(p.dim(), 3);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 3.0);
+  g::Point origin(4);
+  EXPECT_EQ(origin.dim(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(origin[i], 0.0);
+}
+
+TEST(Point, RejectsBadDimensions) {
+  EXPECT_THROW(g::Point(1), std::invalid_argument);
+  EXPECT_THROW(g::Point(g::kMaxDim + 1), std::invalid_argument);
+  EXPECT_THROW((g::Point{1.0}), std::invalid_argument);
+}
+
+TEST(Point, Equality) {
+  EXPECT_EQ((g::Point{1.0, 2.0}), (g::Point{1.0, 2.0}));
+  EXPECT_NE((g::Point{1.0, 2.0}), (g::Point{1.0, 2.1}));
+  EXPECT_NE((g::Point{1.0, 2.0}), (g::Point{1.0, 2.0, 0.0}));
+}
+
+TEST(Distance, KnownValues) {
+  EXPECT_DOUBLE_EQ(g::distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(g::sq_distance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(g::distance({1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(Distance, SymmetryAndTriangleInequality) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> coord(-5.0, 5.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    g::Point a{coord(rng), coord(rng), coord(rng)};
+    g::Point b{coord(rng), coord(rng), coord(rng)};
+    g::Point c{coord(rng), coord(rng), coord(rng)};
+    EXPECT_DOUBLE_EQ(g::distance(a, b), g::distance(b, a));
+    EXPECT_LE(g::distance(a, c), g::distance(a, b) + g::distance(b, c) + 1e-12);
+  }
+}
+
+TEST(Angle, RightAngle) {
+  EXPECT_NEAR(g::angle_at({0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}), std::numbers::pi / 2, 1e-12);
+}
+
+TEST(Angle, CollinearAndOpposite) {
+  EXPECT_NEAR(g::angle_at({0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(g::angle_at({0.0, 0.0}, {1.0, 0.0}, {-1.0, 0.0}), std::numbers::pi, 1e-12);
+}
+
+TEST(Angle, DegenerateThrows) {
+  EXPECT_THROW(static_cast<void>(g::angle_at({0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0})),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(g::angle_at({0.0, 0.0}, {1.0, 0.0}, {0.0, 0.0})),
+               std::invalid_argument);
+}
+
+TEST(Angle, InHigherDimensions) {
+  // 60 degrees in 3-D.
+  EXPECT_NEAR(g::angle_at({0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, {0.5, std::sqrt(3.0) / 2.0, 0.0}),
+              std::numbers::pi / 3, 1e-12);
+}
+
+TEST(Theta, SatisfiesCzumajZhaoPrecondition) {
+  for (double t : {1.05, 1.1, 1.25, 1.5, 2.0, 4.0}) {
+    const double theta = g::max_theta_for_stretch(t);
+    EXPECT_TRUE(g::theta_valid_for_stretch(theta, t)) << "t=" << t << " theta=" << theta;
+    EXPECT_GT(theta, 0.0);
+    EXPECT_LT(theta, std::numbers::pi / 4);
+  }
+}
+
+TEST(Theta, MonotoneInT) {
+  // Larger stretch budget allows a wider cone.
+  EXPECT_LT(g::max_theta_for_stretch(1.1), g::max_theta_for_stretch(1.5));
+  EXPECT_LT(g::max_theta_for_stretch(1.5), g::max_theta_for_stretch(3.0));
+}
+
+TEST(Theta, RejectsBadInput) {
+  EXPECT_THROW(static_cast<void>(g::max_theta_for_stretch(1.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(g::max_theta_for_stretch(0.5)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(g::max_theta_for_stretch(2.0, 0.0)), std::invalid_argument);
+}
+
+TEST(Theta, ValidityCheckerRejectsOutOfRange) {
+  EXPECT_FALSE(g::theta_valid_for_stretch(0.0, 2.0));
+  EXPECT_FALSE(g::theta_valid_for_stretch(std::numbers::pi / 4, 2.0));
+  EXPECT_FALSE(g::theta_valid_for_stretch(0.7, 1.05));  // too wide for small t
+}
+
+TEST(YaoCones, SectorAssignment) {
+  g::YaoCones2D cones(4);
+  g::Point o{0.0, 0.0};
+  EXPECT_EQ(cones.sector_of(o, {1.0, 0.1}), 0);
+  EXPECT_EQ(cones.sector_of(o, {0.1, 1.0}), 0);  // 84 degrees, still sector [0, 90)
+  EXPECT_EQ(cones.sector_of(o, {-1.0, 0.1}), 1);
+  EXPECT_EQ(cones.sector_of(o, {-0.1, -1.0}), 2);
+  EXPECT_EQ(cones.sector_of(o, {1.0, -0.1}), 3);
+}
+
+TEST(YaoCones, EveryDirectionLandsInARange) {
+  g::YaoCones2D cones(7);
+  g::Point o{0.0, 0.0};
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> coord(-1.0, 1.0);
+  for (int i = 0; i < 500; ++i) {
+    const double x = coord(rng);
+    const double y = coord(rng);
+    if (x == 0.0 && y == 0.0) continue;
+    const int s = cones.sector_of(o, {x, y});
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 7);
+  }
+}
+
+TEST(YaoCones, RejectsDegenerate) {
+  EXPECT_THROW(g::YaoCones2D(2), std::invalid_argument);
+  g::YaoCones2D cones(6);
+  EXPECT_THROW(static_cast<void>(cones.sector_of({1.0, 1.0}, {1.0, 1.0})), std::invalid_argument);
+}
+
+TEST(Grid, FindsExactlyTheCloseNeighbors) {
+  std::vector<g::Point> pts;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> coord(0.0, 5.0);
+  for (int i = 0; i < 300; ++i) pts.push_back({coord(rng), coord(rng)});
+  const g::Grid grid(pts, 1.0);
+  // Brute-force cross-check.
+  auto got = grid.pairs_within(1.0);
+  std::vector<std::pair<int, int>> want;
+  for (int i = 0; i < 300; ++i) {
+    for (int j = i + 1; j < 300; ++j) {
+      if (g::distance(pts[static_cast<std::size_t>(i)], pts[static_cast<std::size_t>(j)]) <= 1.0) {
+        want.emplace_back(i, j);
+      }
+    }
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(Grid, WorksInThreeDimensions) {
+  std::vector<g::Point> pts;
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> coord(0.0, 3.0);
+  for (int i = 0; i < 200; ++i) pts.push_back({coord(rng), coord(rng), coord(rng)});
+  const g::Grid grid(pts, 1.0);
+  auto got = grid.pairs_within(0.8);
+  std::vector<std::pair<int, int>> want;
+  for (int i = 0; i < 200; ++i) {
+    for (int j = i + 1; j < 200; ++j) {
+      if (g::distance(pts[static_cast<std::size_t>(i)], pts[static_cast<std::size_t>(j)]) <= 0.8) {
+        want.emplace_back(i, j);
+      }
+    }
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(Grid, RejectsBadQueries) {
+  std::vector<g::Point> pts{{0.0, 0.0}, {1.0, 1.0}};
+  const g::Grid grid(pts, 1.0);
+  EXPECT_THROW(grid.for_neighbors_within(0, 2.0, [](int) {}), std::invalid_argument);
+  EXPECT_THROW(g::Grid(pts, 0.0), std::invalid_argument);
+  EXPECT_THROW(g::Grid({}, 1.0), std::invalid_argument);
+}
+
+TEST(Grid, NegativeCoordinatesSupported) {
+  std::vector<g::Point> pts{{-0.5, -0.5}, {-0.4, -0.45}, {3.0, 3.0}};
+  const g::Grid grid(pts, 1.0);
+  int count = 0;
+  grid.for_neighbors_within(0, 1.0, [&](int j) {
+    EXPECT_EQ(j, 1);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}

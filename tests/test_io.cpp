@@ -1,0 +1,113 @@
+// Tests for instance serialization, DOT and CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "io/serialize.hpp"
+#include "ubg/generator.hpp"
+
+namespace io = localspan::io;
+namespace ub = localspan::ubg;
+namespace gr = localspan::graph;
+
+namespace {
+
+ub::UbgInstance sample(std::uint64_t seed, int dim = 2,
+                       ub::Placement placement = ub::Placement::kUniform) {
+  ub::UbgConfig cfg;
+  cfg.n = 80;
+  cfg.dim = dim;
+  cfg.alpha = 0.7;
+  cfg.placement = placement;
+  cfg.seed = seed;
+  return ub::make_ubg(cfg);
+}
+
+}  // namespace
+
+TEST(Serialize, RoundTripIsExact) {
+  const ub::UbgInstance inst = sample(3);
+  std::stringstream ss;
+  io::write_instance(ss, inst);
+  const ub::UbgInstance back = io::read_instance(ss);
+  EXPECT_EQ(back.config.n, inst.config.n);
+  EXPECT_EQ(back.config.dim, inst.config.dim);
+  EXPECT_DOUBLE_EQ(back.config.alpha, inst.config.alpha);
+  EXPECT_DOUBLE_EQ(back.config.side, inst.config.side);
+  EXPECT_EQ(back.config.seed, inst.config.seed);
+  ASSERT_EQ(back.points.size(), inst.points.size());
+  for (std::size_t i = 0; i < back.points.size(); ++i) {
+    EXPECT_EQ(back.points[i], inst.points[i]) << i;  // bitwise-equal doubles
+  }
+  EXPECT_EQ(back.g, inst.g);
+}
+
+TEST(Serialize, RoundTripHigherDimAndPlacements) {
+  for (int dim : {3, 4}) {
+    const ub::UbgInstance inst = sample(5, dim, ub::Placement::kClustered);
+    std::stringstream ss;
+    io::write_instance(ss, inst);
+    const ub::UbgInstance back = io::read_instance(ss);
+    EXPECT_EQ(back.g, inst.g);
+    EXPECT_EQ(back.config.placement, inst.config.placement);
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(static_cast<void>(io::read_instance(empty)), std::runtime_error);
+  std::stringstream wrong_magic("other-format v1\n");
+  EXPECT_THROW(static_cast<void>(io::read_instance(wrong_magic)), std::runtime_error);
+  std::stringstream wrong_version("localspan-instance v99\n");
+  EXPECT_THROW(static_cast<void>(io::read_instance(wrong_version)), std::runtime_error);
+  std::stringstream truncated("localspan-instance v1\n10 2 0.7");
+  EXPECT_THROW(static_cast<void>(io::read_instance(truncated)), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const ub::UbgInstance inst = sample(7);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "localspan_io_test.lsi").string();
+  io::save_instance(path, inst);
+  const ub::UbgInstance back = io::load_instance(path);
+  EXPECT_EQ(back.g, inst.g);
+  std::remove(path.c_str());
+  EXPECT_THROW(static_cast<void>(io::load_instance("/nonexistent/nowhere.lsi")),
+               std::runtime_error);
+}
+
+TEST(Dot, ContainsNodesAndHighlights) {
+  const ub::UbgInstance inst = sample(9);
+  gr::Graph highlight(inst.g.n());
+  const gr::Edge first = inst.g.edges().front();
+  highlight.add_edge(first.u, first.v, first.w);
+  std::stringstream ss;
+  io::write_dot(ss, inst, inst.g, &highlight);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("graph localspan {"), std::string::npos);
+  EXPECT_NE(dot.find("pos="), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("color=gray80"), std::string::npos);
+  // Every vertex declared.
+  for (int v = 0; v < inst.g.n(); ++v) {
+    EXPECT_NE(dot.find("  " + std::to_string(v) + " ["), std::string::npos) << v;
+  }
+}
+
+TEST(Csv, HeaderAndRows) {
+  gr::Graph g(3);
+  g.add_edge(0, 1, 0.25);
+  g.add_edge(1, 2, 0.5);
+  std::stringstream ss;
+  io::write_edge_csv(ss, g);
+  std::string line;
+  std::getline(ss, line);
+  EXPECT_EQ(line, "u,v,weight");
+  int rows = 0;
+  while (std::getline(ss, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+}

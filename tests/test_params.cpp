@@ -1,0 +1,143 @@
+// Tests for parameter derivation (Theorem 10/13 constraint satisfaction)
+// and the geometric bin schema of §2.
+#include <gtest/gtest.h>
+
+#include "core/bins.hpp"
+#include "core/params.hpp"
+
+namespace core = localspan::core;
+
+class StrictParams : public ::testing::TestWithParam<double> {};
+
+TEST_P(StrictParams, SatisfyEveryTheoremCondition) {
+  const double eps = GetParam();
+  const core::Params p = core::Params::strict_params(eps, 0.75);
+  EXPECT_TRUE(p.satisfies_stretch_conditions()) << p.describe();
+  EXPECT_TRUE(p.satisfies_weight_conditions()) << p.describe();
+  // Spot-check the raw inequalities from the paper.
+  EXPECT_GT(p.t1, 1.0);
+  EXPECT_LT(p.t1, p.t);
+  EXPECT_GT(p.delta, 0.0);
+  EXPECT_LE(p.delta, (p.t - p.t1) / 4.0);
+  EXPECT_LT(p.delta, (p.t - 1.0) / (6.0 + 2.0 * p.t));
+  const double td = p.t1 * (1.0 - 2.0 * p.delta) / (1.0 + 6.0 * p.delta);
+  EXPECT_NEAR(td, p.t_delta, 1e-12);
+  EXPECT_GT(p.t_delta, 1.0);
+  EXPECT_GT(p.r, 1.0);
+  EXPECT_LT(p.r, (p.t_delta + 1.0) / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, StrictParams,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0));
+
+class PracticalParams : public ::testing::TestWithParam<double> {};
+
+TEST_P(PracticalParams, KeepStretchConditions) {
+  const core::Params p = core::Params::practical_params(GetParam(), 0.75);
+  EXPECT_TRUE(p.satisfies_stretch_conditions()) << p.describe();
+  EXPECT_GT(p.r, core::Params::strict_params(GetParam(), 0.75).r);  // fewer bins
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, PracticalParams, ::testing::Values(0.1, 0.25, 0.5, 1.0, 2.0));
+
+TEST(Params, RejectsBadInputs) {
+  EXPECT_THROW(core::Params::strict_params(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(core::Params::strict_params(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(core::Params::strict_params(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(core::Params::strict_params(0.5, 1.5), std::invalid_argument);
+}
+
+TEST(Params, ValidateCatchesTampering) {
+  core::Params p = core::Params::strict_params(0.5, 0.75);
+  p.delta = 0.4;  // way past every bound
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  core::Params q = core::Params::strict_params(0.5, 0.75);
+  q.t1 = q.t + 0.1;
+  EXPECT_THROW(q.validate(), std::invalid_argument);
+}
+
+TEST(Params, DescribeMentionsMode) {
+  EXPECT_NE(core::Params::strict_params(0.5, 0.75).describe().find("strict"), std::string::npos);
+  EXPECT_NE(core::Params::practical_params(0.5, 0.75).describe().find("practical"),
+            std::string::npos);
+}
+
+TEST(LogStar, KnownValues) {
+  EXPECT_EQ(core::log_star(1.0), 0);
+  EXPECT_EQ(core::log_star(2.0), 1);
+  EXPECT_EQ(core::log_star(4.0), 2);
+  EXPECT_EQ(core::log_star(16.0), 3);
+  EXPECT_EQ(core::log_star(65536.0), 4);
+  EXPECT_EQ(core::log_star(1e9), 5);
+}
+
+TEST(Bins, BoundariesAreExact) {
+  const core::BinSchema schema(0.5, 2.0, 100);  // w0 = 0.005
+  EXPECT_DOUBLE_EQ(schema.w0(), 0.005);
+  EXPECT_EQ(schema.bin_of(0.005), 0);
+  EXPECT_EQ(schema.bin_of(0.0049), 0);
+  EXPECT_EQ(schema.bin_of(0.0051), 1);
+  EXPECT_EQ(schema.bin_of(0.01), 1);    // W_1 = 0.01, I_1 = (0.005, 0.01]
+  EXPECT_EQ(schema.bin_of(0.0101), 2);  // just over W_1
+}
+
+TEST(Bins, InvariantHoldsForRandomLengths) {
+  const core::BinSchema schema(0.75, 1.07, 4096);
+  for (int k = 1; k <= 2000; ++k) {
+    const double len = k / 2000.0;
+    const int b = schema.bin_of(len);
+    ASSERT_GE(b, 0);
+    if (b == 0) {
+      EXPECT_LE(len, schema.w0());
+    } else {
+      EXPECT_GT(len, schema.W(b - 1)) << len;
+      EXPECT_LE(len, schema.W(b)) << len;
+    }
+  }
+}
+
+TEST(Bins, MaxBinCoversUnitLengths) {
+  for (double r : {1.02, 1.5, 2.0}) {
+    for (int n : {10, 1000, 100000}) {
+      const core::BinSchema schema(0.6, r, n);
+      EXPECT_LE(schema.bin_of(1.0), schema.max_bin()) << "r=" << r << " n=" << n;
+    }
+  }
+}
+
+TEST(Bins, GrowLogarithmicallyWithN) {
+  const core::BinSchema s1(0.75, 1.5, 1 << 8);
+  const core::BinSchema s2(0.75, 1.5, 1 << 16);
+  // m = ceil(log_r(n/alpha)): doubling the exponent roughly doubles m.
+  EXPECT_NEAR(static_cast<double>(s2.max_bin()) / s1.max_bin(), 2.0, 0.35);
+}
+
+TEST(Bins, RejectsBadInputs) {
+  EXPECT_THROW(core::BinSchema(0.5, 1.0, 100), std::invalid_argument);
+  EXPECT_THROW(core::BinSchema(0.5, 2.0, 0), std::invalid_argument);
+  EXPECT_THROW(core::BinSchema(1.5, 2.0, 100), std::invalid_argument);
+  const core::BinSchema s(0.5, 2.0, 100);
+  EXPECT_THROW(static_cast<void>(s.bin_of(0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.W(-1)), std::invalid_argument);
+}
+
+TEST(Bins, GroupingPartitionsEdges) {
+  const core::BinSchema schema(0.5, 1.3, 64);
+  std::vector<localspan::graph::Edge> edges;
+  std::vector<double> lens;
+  for (int k = 1; k <= 50; ++k) {
+    edges.push_back({0, k, k / 50.0});
+    lens.push_back(k / 50.0);
+  }
+  const auto bins = core::group_edges_by_bin(edges, schema, lens);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    for (const auto& e : bins[i]) {
+      EXPECT_EQ(schema.bin_of(e.w), static_cast<int>(i));
+    }
+    total += bins[i].size();
+  }
+  EXPECT_EQ(total, edges.size());
+  EXPECT_THROW(static_cast<void>(core::group_edges_by_bin(edges, schema, {})),
+               std::invalid_argument);
+}

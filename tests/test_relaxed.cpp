@@ -1,0 +1,457 @@
+// End-to-end and white-box tests for the sequential relaxed greedy algorithm
+// (§2) — the paper's Theorems 2, 10, 11, 13 as executable properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/greedy.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "graph/mst.hpp"
+#include "mis/mis.hpp"
+#include "ubg/generator.hpp"
+
+namespace core = localspan::core;
+namespace gr = localspan::graph;
+namespace ub = localspan::ubg;
+
+namespace {
+
+ub::UbgInstance instance(std::uint64_t seed, int n = 180, double alpha = 0.75, int dim = 2,
+                         ub::Placement placement = ub::Placement::kUniform) {
+  ub::UbgConfig cfg;
+  cfg.n = n;
+  cfg.alpha = alpha;
+  cfg.dim = dim;
+  cfg.placement = placement;
+  cfg.seed = seed;
+  return ub::make_ubg(cfg);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// End-to-end properties, swept over (eps, alpha, seed) with TEST_P.
+
+struct EndToEndCase {
+  double eps;
+  double alpha;
+  std::uint64_t seed;
+  bool strict;
+};
+
+class RelaxedEndToEnd : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(RelaxedEndToEnd, ThreeSpannerPropertiesHold) {
+  const auto& c = GetParam();
+  const auto inst = instance(c.seed, 160, c.alpha);
+  const core::Params params = c.strict ? core::Params::strict_params(c.eps, c.alpha)
+                                       : core::Params::practical_params(c.eps, c.alpha);
+  const auto result = core::relaxed_greedy(inst, params);
+
+  // Theorem 10: (1+eps)-stretch over every edge of G.
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9))
+      << params.describe();
+
+  // Output is a subgraph of G (all additions are G edges; Lemma 1 covers
+  // the phase-0 clique edges).
+  for (const gr::Edge& e : result.spanner.edges()) {
+    EXPECT_TRUE(inst.g.has_edge(e.u, e.v));
+  }
+
+  // Theorem 11: bounded degree (generous constant; E2 tracks flatness in n).
+  EXPECT_LE(result.spanner.max_degree(), 40) << params.describe();
+
+  // Theorem 13: lightness bounded (generous constant; E3 tracks it in n).
+  EXPECT_LE(gr::lightness(inst.g, result.spanner), 8.0) << params.describe();
+
+  // Connectivity preserved (t-spanner of each component).
+  EXPECT_EQ(gr::connected_components(inst.g).count,
+            gr::connected_components(result.spanner).count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RelaxedEndToEnd,
+    ::testing::Values(EndToEndCase{0.5, 0.75, 1, true}, EndToEndCase{0.5, 0.75, 2, true},
+                      EndToEndCase{0.25, 0.75, 3, true}, EndToEndCase{1.0, 0.75, 4, true},
+                      EndToEndCase{0.5, 0.5, 5, true}, EndToEndCase{0.5, 1.0, 6, true},
+                      EndToEndCase{0.5, 0.75, 7, false}, EndToEndCase{0.25, 0.6, 8, false},
+                      EndToEndCase{2.0, 0.75, 9, true}, EndToEndCase{1.0, 0.4, 10, false}));
+
+// Cross-product sweep: dimension x placement x gray-zone policy. Every cell
+// must satisfy the exact stretch bound — the paper's guarantee is
+// unconditional over the alpha-UBG model class.
+struct ModelCase {
+  int dim;
+  ub::Placement placement;
+  int policy;  // 0 always, 1 never, 2 probabilistic
+};
+
+class RelaxedModelSweep : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(RelaxedModelSweep, StretchHoldsAcrossTheModelClass) {
+  const ModelCase& c = GetParam();
+  ub::UbgConfig cfg;
+  cfg.n = 120;
+  cfg.dim = c.dim;
+  cfg.alpha = 0.7;
+  cfg.placement = c.placement;
+  cfg.seed = 99;
+  std::unique_ptr<ub::GrayZonePolicy> policy;
+  if (c.policy == 0) policy = ub::always_connect();
+  if (c.policy == 1) policy = ub::never_connect();
+  if (c.policy == 2) policy = ub::probabilistic(0.5, 7);
+  const auto inst = ub::make_ubg(cfg, *policy);
+  const core::Params params = core::Params::practical_params(0.5, 0.7);
+  const auto result = core::relaxed_greedy(inst, params);
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9));
+  EXPECT_EQ(gr::connected_components(inst.g).count,
+            gr::connected_components(result.spanner).count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelCross, RelaxedModelSweep,
+    ::testing::Values(ModelCase{2, ub::Placement::kUniform, 1},
+                      ModelCase{2, ub::Placement::kClustered, 2},
+                      ModelCase{2, ub::Placement::kCorridor, 0},
+                      ModelCase{3, ub::Placement::kUniform, 2},
+                      ModelCase{3, ub::Placement::kClustered, 0},
+                      ModelCase{3, ub::Placement::kCorridor, 1},
+                      ModelCase{4, ub::Placement::kUniform, 0},
+                      ModelCase{4, ub::Placement::kClustered, 1},
+                      ModelCase{4, ub::Placement::kCorridor, 2}));
+
+TEST(RelaxedGreedy, WorksInThreeDimensions) {
+  const auto inst = instance(21, 150, 0.7, 3);
+  const core::Params params = core::Params::practical_params(0.5, 0.7);
+  const auto result = core::relaxed_greedy(inst, params);
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9));
+  EXPECT_LE(result.spanner.max_degree(), 60);
+}
+
+TEST(RelaxedGreedy, WorksOnCorridorPlacement) {
+  const auto inst = instance(22, 150, 0.75, 2, ub::Placement::kCorridor);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto result = core::relaxed_greedy(inst, params);
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9));
+}
+
+TEST(RelaxedGreedy, WorksOnClusteredPlacement) {
+  const auto inst = instance(23, 150, 0.75, 2, ub::Placement::kClustered);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto result = core::relaxed_greedy(inst, params);
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9));
+}
+
+TEST(RelaxedGreedy, GrayZonePoliciesAllSatisfyStretch) {
+  ub::UbgConfig cfg;
+  cfg.n = 150;
+  cfg.alpha = 0.6;
+  cfg.seed = 31;
+  const core::Params params = core::Params::practical_params(0.5, 0.6);
+  for (int which = 0; which < 3; ++which) {
+    std::unique_ptr<ub::GrayZonePolicy> policy;
+    if (which == 0) policy = ub::never_connect();
+    if (which == 1) policy = ub::probabilistic(0.5, 11);
+    if (which == 2) policy = ub::threshold(0.8);
+    const auto inst = ub::make_ubg(cfg, *policy);
+    const auto result = core::relaxed_greedy(inst, params);
+    EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9))
+        << policy->name();
+  }
+}
+
+TEST(RelaxedGreedy, DeterministicAcrossRuns) {
+  const auto inst = instance(41);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto r1 = core::relaxed_greedy(inst, params);
+  const auto r2 = core::relaxed_greedy(inst, params);
+  EXPECT_EQ(r1.spanner, r2.spanner);
+}
+
+TEST(RelaxedGreedy, RejectsAlphaMismatch) {
+  const auto inst = instance(42, 50, 0.75);
+  const core::Params params = core::Params::practical_params(0.5, 0.6);
+  EXPECT_THROW(static_cast<void>(core::relaxed_greedy(inst, params)), std::invalid_argument);
+}
+
+TEST(RelaxedGreedy, PhaseStatsAreConsistent) {
+  const auto inst = instance(43);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto result = core::relaxed_greedy(inst, params);
+  ASSERT_FALSE(result.phases.empty());
+  EXPECT_EQ(result.phases.front().bin, 0);
+  int added_total = 0;
+  for (std::size_t i = 1; i < result.phases.size(); ++i) {
+    const core::PhaseStats& st = result.phases[i];
+    EXPECT_GT(st.edges_in_bin, 0);  // empty bins are skipped
+    EXPECT_EQ(st.edges_in_bin, st.already_in_spanner + st.covered + st.candidates);
+    EXPECT_LE(st.queries, st.candidates);
+    EXPECT_LE(st.added, st.queries);
+    EXPECT_LE(st.removed, st.added);
+    EXPECT_GT(st.clusters, 0);
+    EXPECT_GT(st.w_hi, st.w_lo);
+    EXPECT_GT(result.phases[i].bin, result.phases[i - 1].bin);  // ascending
+    added_total += st.added - st.removed;
+  }
+  EXPECT_EQ(result.spanner.m(), added_total + result.phases.front().added);
+  EXPECT_EQ(result.nonempty_bins, static_cast<int>(result.phases.size()) - 1);
+}
+
+TEST(RelaxedGreedy, PhaseCountIsLogarithmic) {
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto small = core::relaxed_greedy(instance(44, 100), params);
+  const auto large = core::relaxed_greedy(instance(44, 400), params);
+  // total bins m = ceil(log_r(n/alpha)) grows logarithmically.
+  const double expect_small = std::ceil(std::log(100 / 0.75) / std::log(params.r));
+  const double expect_large = std::ceil(std::log(400 / 0.75) / std::log(params.r));
+  EXPECT_EQ(small.total_bins, static_cast<int>(expect_small) + 1);
+  EXPECT_EQ(large.total_bins, static_cast<int>(expect_large) + 1);
+}
+
+TEST(RelaxedGreedy, RedundancyRemovalAblationOnlyAddsEdges) {
+  const auto inst = instance(45);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  core::RelaxedGreedyOptions with;
+  core::RelaxedGreedyOptions without;
+  without.redundancy_removal = false;
+  const auto a = core::relaxed_greedy(inst, params, with);
+  const auto b = core::relaxed_greedy(inst, params, without);
+  EXPECT_GE(b.spanner.m(), a.spanner.m());
+  // Both still t-spanners.
+  EXPECT_LE(gr::max_edge_stretch(inst.g, b.spanner), params.t * (1.0 + 1e-9));
+}
+
+TEST(RelaxedGreedy, CoveredFilterAblationKeepsGuarantees) {
+  const auto inst = instance(48);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  core::RelaxedGreedyOptions no_filter;
+  no_filter.covered_edge_filter = false;
+  const auto result = core::relaxed_greedy(inst, params, no_filter);
+  // Stretch and degree still hold (the filter is a degree-proof device and a
+  // work-saver, not a correctness requirement for not-adding decisions).
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9));
+  EXPECT_LE(result.spanner.max_degree(), 40);
+  for (const core::PhaseStats& st : result.phases) EXPECT_EQ(st.covered, 0);
+}
+
+TEST(RelaxedGreedy, CoveredFilterReducesQueries) {
+  const auto inst = instance(49);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  core::RelaxedGreedyOptions no_filter;
+  no_filter.covered_edge_filter = false;
+  const auto with = core::relaxed_greedy(inst, params);
+  const auto without = core::relaxed_greedy(inst, params, no_filter);
+  long long queries_with = 0;
+  long long queries_without = 0;
+  for (const auto& st : with.phases) queries_with += st.queries;
+  for (const auto& st : without.phases) queries_without += st.queries;
+  EXPECT_LT(queries_with, queries_without);
+}
+
+TEST(RelaxedGreedy, LeapfrogPropertySampledOnOutput) {
+  // Theorem 13's engine: sampled leapfrog violations of the output should be
+  // absent for t2 within the paper's range.
+  const auto inst = instance(46);
+  const core::Params params = core::Params::strict_params(0.5, 0.75);
+  const auto result = core::relaxed_greedy(inst, params);
+  const auto dist = [&](int u, int v) { return u == v ? 0.0 : inst.dist(u, v); };
+  EXPECT_EQ(gr::leapfrog_violations(result.spanner, dist, 1.05, params.t, 500, 7), 0);
+}
+
+TEST(RelaxedGreedy, QualityTracksSeqGreedyAcrossSeeds) {
+  // Regression guardrail for the §2 relaxations: with strict parameters the
+  // relaxed output must stay within modest factors of classical SEQ-GREEDY
+  // (the paper's whole point is that relaxation costs ~nothing in quality).
+  const core::Params params = core::Params::strict_params(0.5, 0.75);
+  for (std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    const auto inst = instance(seed, 140);
+    const auto relaxed = core::relaxed_greedy(inst, params);
+    const gr::Graph greedy = core::seq_greedy(inst.g, params.t);
+    EXPECT_LE(relaxed.spanner.m(), static_cast<int>(1.35 * greedy.m()) + 4) << seed;
+    EXPECT_LE(gr::lightness(inst.g, relaxed.spanner),
+              1.5 * gr::lightness(inst.g, greedy) + 0.2)
+        << seed;
+    EXPECT_LE(relaxed.spanner.max_degree(), greedy.max_degree() + 6) << seed;
+  }
+}
+
+TEST(RelaxedGreedy, Phase0CliqueCapFallbackPath) {
+  // A G_0 component bigger than the cap: the fallback spans it with greedy
+  // over component-internal UBG edges and the guarantees must still hold.
+  ub::UbgInstance inst;
+  inst.config.n = 6;
+  inst.config.dim = 2;
+  inst.config.alpha = 0.75;  // w0 = alpha/n = 0.125
+  inst.points = {{0.00, 0.0}, {0.05, 0.0}, {0.00, 0.05}, {0.05, 0.05},  // tiny clump
+                 {0.60, 0.0}, {0.60, 0.6}};
+  inst.g = gr::Graph(6);
+  for (int u = 0; u < 6; ++u) {
+    for (int v = u + 1; v < 6; ++v) {
+      const double d = inst.dist(u, v);
+      if (d <= 1.0) inst.g.add_edge(u, v, std::max(d, 1e-12));
+    }
+  }
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  core::RelaxedGreedyOptions opts;
+  opts.phase0_clique_cap = 2;  // force the fallback for the 4-clump
+  const auto result = core::relaxed_greedy(inst, params, opts);
+  EXPECT_EQ(result.phase0_components, 1);
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9));
+  // Fallback must not smuggle in edges that leave the clump in phase 0:
+  // every spanner edge inside bin 0 has both endpoints in the clump.
+  for (const gr::Edge& e : result.spanner.edges()) {
+    if (e.w <= 0.125) {
+      EXPECT_LT(e.u, 4);
+      EXPECT_LT(e.v, 4);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// White-box tests of the §2.2 phase steps.
+
+TEST(CoveredEdge, DetectsTextbookConfiguration) {
+  // z in the θ-cone of u->v, {u,z} already in the spanner, |vz| <= alpha.
+  ub::UbgInstance inst;
+  inst.config.alpha = 0.75;
+  inst.config.dim = 2;
+  inst.config.n = 3;
+  inst.points = {{0.0, 0.0}, {0.9, 0.0}, {0.45, 0.01}};  // u, v, z (z near uv segment)
+  inst.g = gr::Graph(3);
+  inst.g.add_edge(0, 1, inst.dist(0, 1));
+  inst.g.add_edge(0, 2, inst.dist(0, 2));
+  inst.g.add_edge(1, 2, inst.dist(1, 2));
+  gr::Graph gp(3);
+  gp.add_edge(0, 2, inst.dist(0, 2));  // {u,z} in G'_{i-1}
+  const core::detail::PhaseEdge e{0, 1, inst.dist(0, 1), inst.dist(0, 1)};
+  EXPECT_TRUE(core::detail::is_covered_edge(inst, gp, e, 0.1));
+  // Without the prior edge {u,z} it is not covered.
+  EXPECT_FALSE(core::detail::is_covered_edge(inst, gp, {0, 2, inst.dist(0, 2), inst.dist(0, 2)},
+                                             0.1));
+}
+
+TEST(CoveredEdge, RespectsThetaAndAlphaLimits) {
+  ub::UbgInstance inst;
+  inst.config.alpha = 0.3;  // small alpha: |vz| too long
+  inst.config.dim = 2;
+  inst.config.n = 3;
+  inst.points = {{0.0, 0.0}, {0.9, 0.0}, {0.45, 0.01}};
+  inst.g = gr::Graph(3);
+  gr::Graph gp(3);
+  gp.add_edge(0, 2, inst.dist(0, 2));
+  const core::detail::PhaseEdge e{0, 1, inst.dist(0, 1), inst.dist(0, 1)};
+  EXPECT_FALSE(core::detail::is_covered_edge(inst, gp, e, 0.1));  // |vz| = .45 > alpha
+  inst.config.alpha = 0.75;
+  EXPECT_FALSE(core::detail::is_covered_edge(inst, gp, e, 0.001));  // cone too narrow
+}
+
+TEST(CoveredEdge, SymmetricSideWorks) {
+  // The witness sits at v's side: {v,z} in G', |uz| <= alpha, angle uvz small.
+  ub::UbgInstance inst;
+  inst.config.alpha = 0.75;
+  inst.config.dim = 2;
+  inst.config.n = 3;
+  inst.points = {{0.0, 0.0}, {0.9, 0.0}, {0.45, 0.01}};
+  inst.g = gr::Graph(3);
+  gr::Graph gp(3);
+  gp.add_edge(1, 2, inst.dist(1, 2));  // edge at v
+  const core::detail::PhaseEdge e{0, 1, inst.dist(0, 1), inst.dist(0, 1)};
+  EXPECT_TRUE(core::detail::is_covered_edge(inst, gp, e, 0.1));
+}
+
+TEST(QuerySelection, OneEdgePerClusterPair) {
+  // Two clusters of two vertices each, three candidate edges across.
+  gr::Graph gp(4);
+  gp.add_edge(0, 1, 0.05);  // cluster {0,1}
+  gp.add_edge(2, 3, 0.05);  // cluster {2,3}
+  const auto cover = localspan::cluster::sequential_cover(gp, 0.1);
+  ASSERT_EQ(cover.centers.size(), 2u);
+  std::vector<core::detail::PhaseEdge> cands{
+      {0, 2, 0.5, 0.5}, {1, 3, 0.45, 0.45}, {0, 3, 0.55, 0.55}};
+  int per_cluster = 0;
+  const auto selected = core::detail::select_query_edges(cands, cover, 1.5, &per_cluster);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(per_cluster, 1);
+  // Minimizer of t*w - sp(a,x) - sp(b,y): edge {1,3} has w=.45 and
+  // sp-to-center .05 both sides => 0.575; {0,2}: .75; {0,3}: .775.
+  EXPECT_EQ(selected[0].u, 1);
+  EXPECT_EQ(selected[0].v, 3);
+}
+
+TEST(QuerySelection, DistinctPairsKeepDistinctEdges) {
+  gr::Graph gp(6);  // three singleton-ish clusters at mutual distance
+  const auto cover = localspan::cluster::sequential_cover(gp, 0.0);
+  std::vector<core::detail::PhaseEdge> cands{{0, 1, 0.5, 0.5}, {2, 3, 0.5, 0.5}, {4, 5, 0.5, 0.5}};
+  int per_cluster = 0;
+  const auto selected = core::detail::select_query_edges(cands, cover, 1.5, &per_cluster);
+  EXPECT_EQ(selected.size(), 3u);
+  EXPECT_EQ(per_cluster, 1);
+}
+
+TEST(AnswerQueries, AddsExactlyTheUnreachable) {
+  gr::Graph h(4);
+  h.add_edge(0, 1, 1.0);
+  h.add_edge(1, 2, 1.0);
+  // Query {0,2}: H-path of 2.0 <= t*w for w=1.5, t=1.5 (2.25) -> not added.
+  // Query {0,3}: no H-path -> added.
+  std::vector<core::detail::PhaseEdge> queries{{0, 2, 1.5, 1.5}, {0, 3, 1.5, 1.5}};
+  int hops = 0;
+  const auto to_add = core::detail::answer_queries(h, queries, 1.5, &hops);
+  ASSERT_EQ(to_add.size(), 1u);
+  EXPECT_EQ(to_add[0].v, 3);
+  EXPECT_EQ(hops, 2);
+}
+
+TEST(Redundancy, ParallelCloseEdgesConflict) {
+  // Two nearly-parallel edges whose endpoints are joined by tiny H-paths:
+  // mutually redundant; exactly one must be removed.
+  gr::Graph h(4);
+  h.add_edge(0, 2, 0.01);  // u ~ u'
+  h.add_edge(1, 3, 0.01);  // v ~ v'
+  std::vector<core::detail::PhaseEdge> added{{0, 1, 1.0, 1.0}, {2, 3, 1.0, 1.0}};
+  const double t1 = 1.25;
+  const gr::Graph j = core::detail::redundancy_conflict_graph(h, added, t1);
+  EXPECT_EQ(j.m(), 1);
+  const auto removal = core::detail::redundant_edge_removal(
+      h, added, t1, [](const gr::Graph& jj) { return localspan::mis::greedy_mis(jj); });
+  EXPECT_EQ(removal.size(), 1u);
+}
+
+TEST(Redundancy, FarEdgesDoNotConflict) {
+  gr::Graph h(4);  // no H connectivity between the pairs
+  std::vector<core::detail::PhaseEdge> added{{0, 1, 1.0, 1.0}, {2, 3, 1.0, 1.0}};
+  const gr::Graph j = core::detail::redundancy_conflict_graph(h, added, 1.25);
+  EXPECT_EQ(j.m(), 0);
+  const auto removal = core::detail::redundant_edge_removal(
+      h, added, 1.25, [](const gr::Graph& jj) { return localspan::mis::greedy_mis(jj); });
+  EXPECT_TRUE(removal.empty());
+}
+
+TEST(Redundancy, SwappedPairingIsDetected) {
+  // u close to v', v close to u' (the crossed pairing).
+  gr::Graph h(4);
+  h.add_edge(0, 3, 0.01);  // u ~ v'
+  h.add_edge(1, 2, 0.01);  // v ~ u'
+  std::vector<core::detail::PhaseEdge> added{{0, 1, 1.0, 1.0}, {2, 3, 1.0, 1.0}};
+  const gr::Graph j = core::detail::redundancy_conflict_graph(h, added, 1.25);
+  EXPECT_EQ(j.m(), 1);
+}
+
+TEST(Redundancy, RemovedEdgesAlwaysKeepACounterpart) {
+  // Every removed conflict-graph node must have a kept neighbor (this is what
+  // Theorem 10's proof leans on).
+  const auto inst = instance(47);
+  const core::Params params = core::Params::practical_params(0.25, 0.75);
+  // Run and per phase verify via the exposed conflict graph: rebuild is
+  // internal, so here we verify the global stretch consequence instead on a
+  // low-eps run where removals actually trigger.
+  const auto result = core::relaxed_greedy(inst, params);
+  int removed = 0;
+  for (const auto& st : result.phases) removed += st.removed;
+  // The sweep instance is dense enough that some phases remove edges; the
+  // spanner property must nevertheless hold (checked exactly).
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9));
+  SUCCEED() << "removed=" << removed;
+}

@@ -1,0 +1,232 @@
+// Tests for the spanner verifier, geometric routing, the message-level
+// k-hop gather protocol, and the theta-graph / vertex-FT additions.
+#include <gtest/gtest.h>
+
+#include "baseline/yao.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "core/verify.hpp"
+#include "ext/fault_tolerant.hpp"
+#include "graph/components.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/metrics.hpp"
+#include "graph/mst.hpp"
+#include "route/routing.hpp"
+#include "runtime/gather.hpp"
+#include "ubg/generator.hpp"
+
+namespace core = localspan::core;
+namespace ext = localspan::ext;
+namespace gr = localspan::graph;
+namespace rt = localspan::runtime;
+namespace route = localspan::route;
+namespace ub = localspan::ubg;
+
+namespace {
+
+ub::UbgInstance instance(std::uint64_t seed, int n = 150) {
+  ub::UbgConfig cfg;
+  cfg.n = n;
+  cfg.alpha = 0.75;
+  cfg.seed = seed;
+  return ub::make_ubg(cfg);
+}
+
+}  // namespace
+
+TEST(Verify, PassesOnCorrectSpanner) {
+  const auto inst = instance(1);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto result = core::relaxed_greedy(inst, params);
+  const core::VerificationReport rep = core::verify_spanner(inst, result.spanner, params.t);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_NE(rep.summary().find("PASS"), std::string::npos);
+}
+
+TEST(Verify, CatchesStretchViolation) {
+  const auto inst = instance(2);
+  // An MSF is connected but not a 1.1-spanner.
+  const gr::Graph forest = localspan::graph::minimum_spanning_forest(inst.g);
+  const core::VerificationReport rep = core::verify_spanner(inst, forest, 1.1);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_FALSE(rep.stretch_ok);
+  EXPECT_TRUE(rep.is_subgraph);
+  EXPECT_NE(rep.summary().find("FAIL"), std::string::npos);
+}
+
+TEST(Verify, CatchesForeignEdges) {
+  const auto inst = instance(3, 60);
+  gr::Graph fake = inst.g;
+  // Insert an edge absent from the network (pick the farthest pair).
+  int bu = -1;
+  int bv = -1;
+  double best = -1.0;
+  for (int u = 0; u < inst.g.n(); ++u) {
+    for (int v = u + 1; v < inst.g.n(); ++v) {
+      if (!inst.g.has_edge(u, v) && inst.dist(u, v) > best) {
+        best = inst.dist(u, v);
+        bu = u;
+        bv = v;
+      }
+    }
+  }
+  ASSERT_NE(bu, -1);
+  fake.add_edge(bu, bv, best);
+  const core::VerificationReport rep = core::verify_spanner(inst, fake, 2.0);
+  EXPECT_FALSE(rep.is_subgraph);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Verify, CatchesDisconnection) {
+  const auto inst = instance(4, 80);
+  gr::Graph sub(inst.g.n());  // empty topology
+  const core::VerificationReport rep = core::verify_spanner(inst, sub, 2.0);
+  EXPECT_FALSE(rep.connectivity_ok);
+}
+
+TEST(Verify, DegreeAndLightnessCaps) {
+  const auto inst = instance(5);
+  core::VerifyCaps tight;
+  tight.max_degree = 1;
+  tight.lightness = 1.0;
+  const core::VerificationReport rep = core::verify_spanner(inst, inst.g, 64.0, tight);
+  EXPECT_FALSE(rep.degree_ok);
+  EXPECT_FALSE(rep.lightness_ok);
+}
+
+TEST(Routing, DeliversOnCompleteGeometry) {
+  const auto inst = instance(6, 200);
+  const route::RoutingStats st =
+      route::evaluate_routing(inst, inst.g, route::Forwarding::kGreedy, 150, 9);
+  EXPECT_GT(st.delivery_rate, 0.9);  // dense UBG: greedy rarely strands
+  EXPECT_GE(st.mean_route_stretch, 1.0);
+  EXPECT_GE(st.worst_route_stretch, st.mean_route_stretch);
+}
+
+TEST(Routing, SpannerKeepsDeliveryHigh) {
+  const auto inst = instance(7, 200);
+  const core::Params params = core::Params::practical_params(0.5, 0.75);
+  const auto result = core::relaxed_greedy(inst, params);
+  const route::RoutingStats raw =
+      route::evaluate_routing(inst, inst.g, route::Forwarding::kGreedy, 150, 11);
+  const route::RoutingStats spa =
+      route::evaluate_routing(inst, result.spanner, route::Forwarding::kGreedy, 150, 11);
+  // The spanner keeps most greedy routes alive despite pruning ~2/3 of edges.
+  EXPECT_GT(spa.delivery_rate, raw.delivery_rate - 0.25);
+}
+
+TEST(Routing, PacketPathIsConsistent) {
+  const auto inst = instance(8, 100);
+  const route::RouteResult r =
+      route::route_packet(inst, inst.g, 0, inst.g.n() - 1, route::Forwarding::kGreedy);
+  if (r.delivered) {
+    EXPECT_EQ(r.path.front(), 0);
+    EXPECT_EQ(r.path.back(), inst.g.n() - 1);
+    EXPECT_EQ(static_cast<int>(r.path.size()) - 1, r.hops);
+    double len = 0.0;
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      EXPECT_TRUE(inst.g.has_edge(r.path[i], r.path[i + 1]));
+      len += inst.dist(r.path[i], r.path[i + 1]);
+    }
+    EXPECT_NEAR(len, r.length, 1e-9);
+  } else {
+    EXPECT_NE(r.path.back(), inst.g.n() - 1);
+  }
+}
+
+TEST(Routing, CompassAlsoWorks) {
+  const auto inst = instance(9, 150);
+  const route::RoutingStats st =
+      route::evaluate_routing(inst, inst.g, route::Forwarding::kCompass, 100, 5);
+  EXPECT_GT(st.delivery_rate, 0.8);
+}
+
+TEST(Routing, RejectsBadArgs) {
+  const auto inst = instance(10, 20);
+  EXPECT_THROW(
+      static_cast<void>(route::route_packet(inst, inst.g, -1, 3, route::Forwarding::kGreedy)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      static_cast<void>(route::evaluate_routing(inst, inst.g, route::Forwarding::kGreedy, 0, 1)),
+      std::invalid_argument);
+}
+
+TEST(Gather, ViewsMatchHopBalls) {
+  const auto inst = instance(11, 80);
+  for (int k : {0, 1, 2, 3}) {
+    const auto views = rt::khop_views(inst.g, k);
+    // Independent expectation: edge {a,b} visible at v iff a or b within k hops.
+    for (int v = 0; v < inst.g.n(); v += 7) {
+      const std::vector<int> ball = gr::khop_ball(inst.g, v, k);
+      std::vector<char> in_ball(static_cast<std::size_t>(inst.g.n()), 0);
+      for (int b : ball) in_ball[static_cast<std::size_t>(b)] = 1;
+      int expected = 0;
+      for (const gr::Edge& e : inst.g.edges()) {
+        if (in_ball[static_cast<std::size_t>(e.u)] || in_ball[static_cast<std::size_t>(e.v)]) {
+          ++expected;
+          EXPECT_TRUE(views[static_cast<std::size_t>(v)].has_edge(e.u, e.v));
+        }
+      }
+      EXPECT_EQ(views[static_cast<std::size_t>(v)].m(), expected) << "k=" << k << " v=" << v;
+    }
+  }
+}
+
+TEST(Gather, ChargesKRoundsAndCountsRecords) {
+  const auto inst = instance(12, 60);
+  rt::RoundLedger ledger;
+  static_cast<void>(rt::khop_views(inst.g, 3, &ledger, "gather-test"));
+  EXPECT_EQ(ledger.rounds(), 3);
+  EXPECT_GT(ledger.messages(), inst.g.m());  // records flood over every edge
+  EXPECT_THROW(static_cast<void>(rt::khop_views(inst.g, -1)), std::invalid_argument);
+}
+
+TEST(ThetaGraph, SubgraphWithConeSelection) {
+  const auto inst = instance(13, 200);
+  const gr::Graph th = localspan::baseline::theta_graph(inst, 8);
+  for (const gr::Edge& e : th.edges()) EXPECT_TRUE(inst.g.has_edge(e.u, e.v));
+  EXPECT_LE(th.m(), 8 * th.n());
+  EXPECT_EQ(localspan::graph::connected_components(inst.g).count,
+            localspan::graph::connected_components(th).count);
+}
+
+TEST(ThetaGraph, MoreConesImproveStretch) {
+  const auto inst = instance(14, 200);
+  const double s6 = gr::max_edge_stretch(inst.g, localspan::baseline::theta_graph(inst, 6));
+  const double s18 = gr::max_edge_stretch(inst.g, localspan::baseline::theta_graph(inst, 18));
+  EXPECT_LE(s18, s6 + 1e-9);
+}
+
+TEST(VertexFT, StrongerThanEdgeFT) {
+  const auto inst = instance(15, 90);
+  const double t = 1.8;
+  const gr::Graph edge_ft = ext::fault_tolerant_greedy(inst.g, t, 1);
+  const gr::Graph vertex_ft = ext::fault_tolerant_greedy_vertex(inst.g, t, 1);
+  // Vertex-disjointness is the stronger requirement: at least as many edges.
+  EXPECT_GE(vertex_ft.m(), edge_ft.m());
+  EXPECT_LE(gr::max_edge_stretch(inst.g, vertex_ft), t * (1.0 + 1e-9));
+}
+
+TEST(VertexFT, SurvivesSingleVertexFaults) {
+  const auto inst = instance(16, 80);
+  const double t = 2.0;
+  const gr::Graph ft = ext::fault_tolerant_greedy_vertex(inst.g, t, 1);
+  // Remove each vertex in turn (sampled); the survivor must stay a t-spanner
+  // of the survivor network.
+  for (int victim = 0; victim < inst.g.n(); victim += 9) {
+    gr::Graph faulted_spanner = ft;
+    gr::Graph faulted_g = inst.g;
+    for (const auto& g2 : {&faulted_spanner, &faulted_g}) {
+      std::vector<int> nbrs;
+      for (const gr::Neighbor& nb : g2->neighbors(victim)) nbrs.push_back(nb.to);
+      for (int to : nbrs) g2->remove_edge(victim, to);
+    }
+    EXPECT_LE(gr::max_edge_stretch(faulted_g, faulted_spanner), t * (1.0 + 1e-9))
+        << "victim=" << victim;
+  }
+}
+
+TEST(VertexFT, KZeroMatchesEdgeVariant) {
+  const auto inst = instance(17, 70);
+  EXPECT_EQ(ext::fault_tolerant_greedy_vertex(inst.g, 1.5, 0),
+            ext::fault_tolerant_greedy(inst.g, 1.5, 0));
+}

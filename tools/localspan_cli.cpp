@@ -1,0 +1,188 @@
+/// localspan command-line tool: generate, span, verify, export.
+///
+///   localspan_cli gen  --n 512 --alpha 0.75 --dim 2 --seed 7 --out net.lsi
+///   localspan_cli span --in net.lsi --eps 0.5 [--strict] [--distributed]
+///                      [--out-dot spanner.dot] [--out-csv spanner.csv]
+///   localspan_cli verify --in net.lsi --eps 0.5
+///   localspan_cli route --in net.lsi --eps 0.5 --trials 200
+///
+/// Exit code 0 on success / verification pass, 1 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/distributed.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "core/verify.hpp"
+#include "graph/metrics.hpp"
+#include "io/serialize.hpp"
+#include "route/routing.hpp"
+#include "ubg/generator.hpp"
+
+using namespace localspan;
+
+namespace {
+
+/// Tiny flag parser: --key value pairs plus boolean --key switches.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        kv_[key] = argv[++i];
+      } else {
+        kv_[key] = "1";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+  [[nodiscard]] int get_int(const std::string& key, int dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stoi(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& key, double dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stod(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return kv_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: localspan_cli <gen|span|verify|route> [--flags]\n"
+               "  gen    --n N --alpha A --dim D --seed S [--placement uniform|clustered|corridor]\n"
+               "         [--policy always|never|prob|threshold] [--p P] --out FILE\n"
+               "  span   --in FILE --eps E [--strict] [--distributed] [--seed S]\n"
+               "         [--out-dot FILE] [--out-csv FILE]\n"
+               "  verify --in FILE --eps E [--strict]\n"
+               "  route  --in FILE --eps E [--trials T] [--seed S]\n");
+  return 1;
+}
+
+ubg::UbgInstance load(const Args& args) {
+  const std::string path = args.get("in", "");
+  if (path.empty()) throw std::runtime_error("missing --in FILE");
+  return io::load_instance(path);
+}
+
+graph::Graph build_spanner(const ubg::UbgInstance& inst, const Args& args) {
+  const double eps = args.get_double("eps", 0.5);
+  const double alpha = inst.config.alpha;
+  const core::Params params = args.has("strict") ? core::Params::strict_params(eps, alpha)
+                                                 : core::Params::practical_params(eps, alpha);
+  if (args.has("distributed")) {
+    return core::distributed_relaxed_greedy(inst, params, {},
+                                            static_cast<std::uint64_t>(args.get_int("seed", 1)))
+        .base.spanner;
+  }
+  return core::relaxed_greedy(inst, params).spanner;
+}
+
+int cmd_gen(const Args& args) {
+  ubg::UbgConfig cfg;
+  cfg.n = args.get_int("n", 256);
+  cfg.alpha = args.get_double("alpha", 0.75);
+  cfg.dim = args.get_int("dim", 2);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.target_degree = args.get_double("target-degree", 10.0);
+  const std::string placement = args.get("placement", "uniform");
+  if (placement == "clustered") cfg.placement = ubg::Placement::kClustered;
+  if (placement == "corridor") cfg.placement = ubg::Placement::kCorridor;
+  std::unique_ptr<ubg::GrayZonePolicy> policy;
+  const std::string pol = args.get("policy", "always");
+  if (pol == "never") {
+    policy = ubg::never_connect();
+  } else if (pol == "prob") {
+    policy = ubg::probabilistic(args.get_double("p", 0.5), cfg.seed ^ 0xABCDULL);
+  } else if (pol == "threshold") {
+    policy = ubg::threshold(args.get_double("p", 0.5 * (cfg.alpha + 1.0)));
+  } else {
+    policy = ubg::always_connect();
+  }
+  const ubg::UbgInstance inst = ubg::make_ubg(cfg, *policy);
+  const std::string out = args.get("out", "network.lsi");
+  io::save_instance(out, inst);
+  std::printf("wrote %s: n=%d, m=%d, policy=%s\n", out.c_str(), inst.g.n(), inst.g.m(),
+              policy->name());
+  return 0;
+}
+
+int cmd_span(const Args& args) {
+  const ubg::UbgInstance inst = load(args);
+  const graph::Graph spanner = build_spanner(inst, args);
+  const double eps = args.get_double("eps", 0.5);
+  std::printf("spanner: %d -> %d edges, stretch %.4f (bound %.2f), maxdeg %d, lightness %.3f\n",
+              inst.g.m(), spanner.m(), graph::max_edge_stretch(inst.g, spanner), 1.0 + eps,
+              spanner.max_degree(), graph::lightness(inst.g, spanner));
+  const std::string dot = args.get("out-dot", "");
+  if (!dot.empty()) {
+    std::ofstream os(dot);
+    io::write_dot(os, inst, inst.g, &spanner);
+    std::printf("wrote %s (render: neato -n2 -Tpng %s -o out.png)\n", dot.c_str(), dot.c_str());
+  }
+  const std::string csv = args.get("out-csv", "");
+  if (!csv.empty()) {
+    std::ofstream os(csv);
+    io::write_edge_csv(os, spanner);
+    std::printf("wrote %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  const ubg::UbgInstance inst = load(args);
+  const graph::Graph spanner = build_spanner(inst, args);
+  const double eps = args.get_double("eps", 0.5);
+  const core::VerificationReport rep = core::verify_spanner(inst, spanner, 1.0 + eps);
+  std::printf("%s\n", rep.summary().c_str());
+  return rep.ok() ? 0 : 1;
+}
+
+int cmd_route(const Args& args) {
+  const ubg::UbgInstance inst = load(args);
+  if (inst.config.dim != 2) {
+    std::fprintf(stderr, "route: geometric routing demo expects dim=2\n");
+    return 1;
+  }
+  const graph::Graph spanner = build_spanner(inst, args);
+  const int trials = args.get_int("trials", 200);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  for (const auto& [name, topo] : {std::pair<const char*, const graph::Graph*>{"max power", &inst.g},
+                                   {"spanner", &spanner}}) {
+    const route::RoutingStats st =
+        route::evaluate_routing(inst, *topo, route::Forwarding::kGreedy, trials, seed);
+    std::printf("%-10s greedy routing: delivery %.1f%%, mean stretch %.3f, mean hops %.1f\n",
+                name, 100.0 * st.delivery_rate, st.mean_route_stretch, st.mean_hops);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "span") return cmd_span(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "route") return cmd_route(args);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+  return usage();
+}
