@@ -14,6 +14,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E10");
   std::printf("E10: section 1.6 extensions. n=384, alpha=0.75, d=2, seed=10\n");
   const auto inst = benchutil::standard_instance(384, 0.75, 10);
   const core::Params params = core::Params::practical_params(0.5, 0.75);
@@ -34,7 +35,7 @@ int main() {
                     fmt(graph::power_cost(result.spanner) / graph::power_cost(reference), 3),
                     fmt(static_cast<double>(result.spanner.m()) / inst.g.n(), 2)});
   }
-  energy.print("E10a: energy spanners (weights c*len^gamma) keep all guarantees");
+  report.print("E10a: energy spanners (weights c*len^gamma) keep all guarantees", energy);
 
   // --- Fault tolerance: build k-edge-FT greedy spanners and subject each to
   // random edge faults; report worst observed post-fault stretch over trials.
@@ -61,7 +62,7 @@ int main() {
                 fmt(graph::lightness(inst.g, spanner), 3), fmt_int(k),
                 fmt(worst, 4), connectivity ? "yes" : "NO"});
   }
-  ft.print("E10b: k-edge fault tolerance (k faults leave a t-spanner of the survivor graph)");
+  report.print("E10b: k-edge fault tolerance (k faults leave a t-spanner of the survivor graph)", ft);
 
   // --- Vertex-fault variant: stronger guarantee, denser output. Subject the
   // k=1 backbone to single-vertex faults and report the worst stretch.
@@ -84,6 +85,6 @@ int main() {
     vft.add_row({fmt_int(k), fmt(static_cast<double>(vspan.m()) / inst.g.n(), 2),
                  fmt(static_cast<double>(espan.m()) / inst.g.n(), 2), fmt(worst, 4)});
   }
-  vft.print("E10c: k-vertex fault tolerance (k=1 bounds stretch under any single node failure)");
-  return 0;
+  report.print("E10c: k-vertex fault tolerance (k=1 bounds stretch under any single node failure)", vft);
+  return report.write() ? 0 : 1;
 }

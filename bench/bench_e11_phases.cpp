@@ -13,6 +13,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E11");
   std::printf("E11: phase structure. eps=0.5, alpha=0.75, d=2, uniform, seed=11\n");
   const core::Params params = core::Params::practical_params(0.5, 0.75);
 
@@ -38,7 +39,7 @@ int main() {
                      fmt_int(result.phase0_components), fmt_int(covered), fmt_int(cands),
                      fmt_int(queries), fmt_int(added), fmt_int(removed)});
   }
-  scaling.print("E11: m = O(log n) bins; the covered/query funnel trims most edges");
+  report.print("E11: m = O(log n) bins; the covered/query funnel trims most edges", scaling);
 
   // Full per-phase funnel at one size.
   const auto inst = benchutil::standard_instance(1024, 0.75, 11);
@@ -51,6 +52,6 @@ int main() {
                     fmt_int(st.queries), fmt_int(st.added), fmt_int(st.removed),
                     fmt_int(st.clusters)});
   }
-  funnel.print("E11b: per-phase funnel at n=1024 (lazy updates once per bin)");
-  return 0;
+  report.print("E11b: per-phase funnel at n=1024 (lazy updates once per bin)", funnel);
+  return report.write() ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/distributed.hpp"
@@ -72,4 +74,25 @@ BENCHMARK(BM_RelaxedPractical)
 BENCHMARK(BM_RelaxedStrict)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Distributed)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to also writing the machine-readable
+// BENCH_E12.json artifact (same convention as the JsonReport benches) unless
+// the caller passes an explicit --benchmark_out.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=" + benchutil::bench_json_path("E12");
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,6 +32,7 @@ Outcome run(const ubg::UbgInstance& inst, const core::Params& params,
 }  // namespace
 
 int main() {
+  benchutil::JsonReport report("E12b");
   std::printf("E12b: ablations. n=768, eps=0.5, alpha=0.75, d=2, seed=12\n");
   const auto inst = benchutil::standard_instance(768, 0.75, 12);
   const core::Params strict = core::Params::strict_params(0.5, 0.75);
@@ -63,7 +64,7 @@ int main() {
                    fmt_int(o.result.spanner.max_degree()),
                    fmt(graph::lightness(inst.g, o.result.spanner), 3), fmt_int(removed)});
   }
-  table.print("E12b: strict params buy sparser/lighter output for ~10x more phases; "
-              "redundancy removal trims weight at equal stretch");
-  return 0;
+  report.print("E12b: strict params buy sparser/lighter output for ~10x more phases; "
+              "redundancy removal trims weight at equal stretch", table);
+  return report.write() ? 0 : 1;
 }

@@ -16,6 +16,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E13");
   std::printf("E13: geometric routing. n=512, alpha=1.0 (UDG), d=2, seed=13, 300 packets\n");
   const auto inst = benchutil::standard_instance(512, 1.0, 13);
   const core::Params params = core::Params::practical_params(0.5, 1.0);
@@ -42,6 +43,6 @@ int main() {
                      fmt(st.mean_route_stretch, 3), fmt(st.worst_route_stretch, 3)});
     }
   }
-  table.print("E13: the spanner keeps geometric routing viable at a fraction of the links");
-  return 0;
+  report.print("E13: the spanner keeps geometric routing viable at a fraction of the links", table);
+  return report.write() ? 0 : 1;
 }

@@ -41,6 +41,7 @@ double complete_stretch(const std::vector<geom::Point>& pts, const graph::Graph&
 }  // namespace
 
 int main() {
+  benchutil::JsonReport report("E14");
   std::printf("E14: CG spanners on the complete graph vs topology control on the UBG.\n");
   std::printf("n=256, d=2, t=1.5, seed=14\n");
   const auto inst = benchutil::standard_instance(256, 0.75, 14);
@@ -76,7 +77,7 @@ int main() {
   row("relaxed greedy (paper)", "alpha-UBG", relaxed.spanner,
       graph::max_edge_stretch(inst.g, relaxed.spanner));
 
-  table.print("E14: CG constructions need radio-infeasible long edges; the paper's "
-              "algorithm gets the same guarantees using network links only");
-  return 0;
+  report.print("E14: CG constructions need radio-infeasible long edges; the paper's "
+              "algorithm gets the same guarantees using network links only", table);
+  return report.write() ? 0 : 1;
 }

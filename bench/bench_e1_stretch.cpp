@@ -17,6 +17,12 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E1");
+  report.meta("n", 512LL);
+  report.meta("alpha", 0.75);
+  report.meta("dim", 2LL);
+  report.meta("placement", "uniform");
+  report.meta("seed", 1LL);
   std::printf("E1: stretch vs eps (Theorem 10). n=512, alpha=0.75, d=2, uniform, seed=1\n");
   const auto inst = benchutil::standard_instance(512, 0.75, 1);
   std::printf("input: m=%d, mean degree %.1f\n", inst.g.m(), 2.0 * inst.g.m() / inst.g.n());
@@ -45,6 +51,6 @@ int main() {
                      fmt(graph::lightness(inst.g, run.g), 3)});
     }
   }
-  table.print("E1: measured stretch vs target t (all variants must satisfy <= t)");
-  return 0;
+  report.print("E1: measured stretch vs target t (all variants must satisfy <= t)", table);
+  return report.write() ? 0 : 1;
 }

@@ -15,6 +15,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E2");
   std::printf("E2: degree vs n (Theorem 11). eps=0.5, alpha=0.75, d=2, uniform\n");
   benchutil::Table table({"n", "G max deg", "G' max deg (practical)", "G' p99", "G' mean",
                           "G' max deg (strict)"});
@@ -31,6 +32,6 @@ int main() {
     table.add_row({fmt_int(n), fmt_int(inst.g.max_degree()), fmt_int(st.max), fmt_int(st.p99),
                    fmt(st.mean, 2), strict_deg});
   }
-  table.print("E2: max degree stays O(1) while the input degree grows");
-  return 0;
+  report.print("E2: max degree stays O(1) while the input degree grows", table);
+  return report.write() ? 0 : 1;
 }

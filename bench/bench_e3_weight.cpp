@@ -14,6 +14,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E3");
   std::printf("E3: lightness vs n and eps (Theorem 13). alpha=0.75, d=2, uniform, seed=3\n");
   benchutil::Table table({"n", "eps=0.25", "eps=0.5", "eps=1.0", "strict eps=0.5"});
   for (int n : {128, 256, 512, 1024, 2048}) {
@@ -32,6 +33,6 @@ int main() {
     }
     table.add_row(row);
   }
-  table.print("E3: w(G')/w(MSF) stays O(1) in n; smaller eps costs more weight");
-  return 0;
+  report.print("E3: w(G')/w(MSF) stays O(1) in n; smaller eps costs more weight", table);
+  return report.write() ? 0 : 1;
 }

@@ -16,6 +16,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E4");
   std::printf("E4: communication rounds vs n (paper: O(log n * log* n)).\n");
   std::printf("eps=0.5, alpha=0.75, d=2, uniform; Luby-measured vs KMW-model rounds\n");
   const core::Params params = core::Params::practical_params(0.5, 0.75);
@@ -30,7 +31,7 @@ int main() {
                    fmt(ref, 1), fmt(static_cast<double>(result.net.rounds_kmw_model) / ref, 2),
                    fmt_int(result.net.messages), fmt_int(result.net.max_luby_iterations)});
   }
-  table.print("E4: rounds scale polylogarithmically (flat KMW/ref ratio)");
+  report.print("E4: rounds scale polylogarithmically (flat KMW/ref ratio)", table);
 
   // Per-phase breakdown at one size: the §3 claim is O(1) rounds for every
   // step except the two MIS invocations.
@@ -43,6 +44,6 @@ int main() {
                          fmt_int(pr.cluster_graph), fmt_int(pr.query), fmt_int(pr.redundancy),
                          fmt_int(pr.total_measured())});
   }
-  phase_table.print("E4b: per-phase round breakdown at n=1024 (steps ii-iv are O(1))");
-  return 0;
+  report.print("E4b: per-phase round breakdown at n=1024 (steps ii-iv are O(1))", phase_table);
+  return report.write() ? 0 : 1;
 }

@@ -12,6 +12,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E5");
   std::printf("E5: spanner size vs n. eps=0.5, alpha=0.75, d=2, uniform, seed=5\n");
   const core::Params practical = core::Params::practical_params(0.5, 0.75);
   const core::Params strict = core::Params::strict_params(0.5, 0.75);
@@ -31,6 +32,6 @@ int main() {
                    fmt(static_cast<double>(inst.g.m()) / n, 2), fmt_int(result.spanner.m()),
                    fmt(static_cast<double>(result.spanner.m()) / n, 2), strict_m, strict_ratio});
   }
-  table.print("E5: |E'|/n stays constant (linear-size spanner)");
-  return 0;
+  report.print("E5: |E'|/n stays constant (linear-size spanner)", table);
+  return report.write() ? 0 : 1;
 }

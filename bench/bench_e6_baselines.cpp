@@ -21,6 +21,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E6");
   std::printf("E6: baseline comparison. n=512, alpha=1.0 (UDG), d=2, uniform, seed=6\n");
   const auto inst = benchutil::standard_instance(512, 1.0, 6);
   const double power_max = graph::power_cost(inst.g);
@@ -53,6 +54,6 @@ int main() {
                    fmt(graph::lightness(inst.g, row.g), 3),
                    fmt(graph::power_cost(row.g) / power_max, 3)});
   }
-  table.print("E6: only the paper's construction bounds stretch, degree AND weight at once");
-  return 0;
+  report.print("E6: only the paper's construction bounds stretch, degree AND weight at once", table);
+  return report.write() ? 0 : 1;
 }

@@ -15,6 +15,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E7");
   std::printf("E7: alpha x gray-zone policy sweep. n=384, eps=0.5, d=2, uniform, seed=7\n");
   benchutil::Table table({"alpha", "policy", "|E(G)|", "stretch", "within t=1.5", "max deg",
                           "lightness"});
@@ -41,6 +42,6 @@ int main() {
                      fmt(graph::lightness(inst.g, result.spanner), 3)});
     }
   }
-  table.print("E7: all three properties hold for every alpha and adversarial gray zone");
-  return 0;
+  report.print("E7: all three properties hold for every alpha and adversarial gray zone", table);
+  return report.write() ? 0 : 1;
 }

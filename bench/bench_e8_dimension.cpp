@@ -11,6 +11,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E8");
   std::printf("E8: dimension sweep. n=384, eps=0.5, alpha=0.7, uniform, seed=8\n");
   const core::Params params = core::Params::practical_params(0.5, 0.7);
   benchutil::Table table(
@@ -26,6 +27,6 @@ int main() {
                    fmt(graph::lightness(inst.g, result.spanner), 3),
                    fmt(static_cast<double>(result.spanner.m()) / inst.g.n(), 2)});
   }
-  table.print("E8: guarantees carry to d = 3, 4 (degree constant grows with d, as the theory predicts)");
-  return 0;
+  report.print("E8: guarantees carry to d = 3, 4 (degree constant grows with d, as the theory predicts)", table);
+  return report.write() ? 0 : 1;
 }

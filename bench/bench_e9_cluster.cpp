@@ -17,6 +17,7 @@ using benchutil::fmt;
 using benchutil::fmt_int;
 
 int main() {
+  benchutil::JsonReport report("E9");
   std::printf("E9: per-phase structural constants. eps=0.5, alpha=0.75, d=2, seed=9\n");
   const core::Params params = core::Params::practical_params(0.5, 0.75);
   std::printf("params: %s\n", params.describe().c_str());
@@ -38,7 +39,7 @@ int main() {
     }
     table.add_row({fmt_int(n), fmt_int(l4), fmt_int(l6), fmt_int(l8), fmt_int(lemma8_cap)});
   }
-  table.print("E9: Lemma 4/6/8 quantities are constant in n");
+  report.print("E9: Lemma 4/6/8 quantities are constant in n", table);
 
   // Doubling dimension of the spanner's shortest-path metric (the metric in
   // which the derived conflict graphs of Lemmas 15/20 are UBGs). The paper's
@@ -56,6 +57,6 @@ int main() {
     }
     dd_table.add_row({fmt_int(n), fmt(graph::doubling_dimension_estimate(dist, 60, 9), 2)});
   }
-  dd_table.print("E9b: doubling dimension of the derived metric stays constant (Lemmas 15/20)");
-  return 0;
+  report.print("E9b: doubling dimension of the derived metric stays constant (Lemmas 15/20)", dd_table);
+  return report.write() ? 0 : 1;
 }

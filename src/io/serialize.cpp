@@ -60,7 +60,12 @@ ubg::UbgInstance read_instance(std::istream& is) {
   std::string version;
   expect(static_cast<bool>(is >> magic >> version), "header");
   expect(magic == kMagic, "magic");
-  expect(version == "v" + std::to_string(kVersion), "version");
+  // Built via += rather than "v" + ...: GCC 12's -O3 inlining of the
+  // operator+(const char*, string&&) overload trips a -Werror=restrict
+  // false positive (GCC PR105651).
+  std::string expected_version = "v";
+  expected_version += std::to_string(kVersion);
+  expect(version == expected_version, "version");
   ubg::UbgConfig cfg;
   int placement_code = 0;
   expect(static_cast<bool>(is >> cfg.n >> cfg.dim >> cfg.alpha >> cfg.side >>

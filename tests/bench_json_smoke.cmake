@@ -1,0 +1,49 @@
+# CTest script: run one bench binary and validate its BENCH_<id>.json
+# artifact (exists, parses as JSON, has the stable schema fields).
+#   cmake -DBENCH=<binary> -DBENCH_ID=<id> -DWORK_DIR=<dir> -P bench_json_smoke.cmake
+
+if(NOT DEFINED BENCH OR NOT DEFINED BENCH_ID OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DBENCH=<bin> -DBENCH_ID=<id> -DWORK_DIR=<dir> -P bench_json_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${BENCH}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+set(artifact "${WORK_DIR}/BENCH_${BENCH_ID}.json")
+if(NOT EXISTS "${artifact}")
+  message(FATAL_ERROR "bench did not write ${artifact}")
+endif()
+
+file(READ "${artifact}" payload)
+
+# string(JSON ...) raises a hard error on malformed JSON — exactly what we
+# want from a validity smoke test.
+string(JSON bench_field GET "${payload}" "bench")
+if(NOT bench_field STREQUAL "${BENCH_ID}")
+  message(FATAL_ERROR "bench field is '${bench_field}', expected '${BENCH_ID}'")
+endif()
+string(JSON schema_version GET "${payload}" "schema_version")
+if(NOT schema_version EQUAL 1)
+  message(FATAL_ERROR "unexpected schema_version '${schema_version}'")
+endif()
+string(JSON n_tables LENGTH "${payload}" "tables")
+if(n_tables LESS 1)
+  message(FATAL_ERROR "no tables in ${artifact}")
+endif()
+string(JSON n_cols LENGTH "${payload}" "tables" 0 "columns")
+string(JSON n_rows LENGTH "${payload}" "tables" 0 "rows")
+if(n_cols LESS 1 OR n_rows LESS 1)
+  message(FATAL_ERROR "first table is empty (${n_cols} cols x ${n_rows} rows)")
+endif()
+
+message(STATUS "bench_json_smoke: BENCH_${BENCH_ID}.json valid (${n_tables} tables, ${n_cols}x${n_rows})")

@@ -1,0 +1,63 @@
+# End-to-end smoke test for localspan_cli, run as a CTest script:
+#   cmake -DCLI=<path> -DWORK_DIR=<dir> -P cli_smoke.cmake
+#
+# Drives the full gen -> span -> verify -> route pipeline on a tiny
+# instance and checks exit codes plus the shape of stdout and of the
+# exported artifacts.
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<localspan_cli> -DWORK_DIR=<dir> -P cli_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_cli expect_rc out_var)
+  execute_process(
+    COMMAND "${CLI}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL expect_rc)
+    message(FATAL_ERROR "localspan_cli ${ARGN} exited ${rc} (expected ${expect_rc})\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# No arguments -> usage text on stderr, exit 1.
+run_cli(1 usage_out)
+
+# gen: writes the instance file and reports its size.
+run_cli(0 gen_out gen --n 64 --alpha 0.75 --dim 2 --seed 7 --out tiny.lsi)
+if(NOT gen_out MATCHES "wrote tiny\\.lsi: n=64, m=[0-9]+, policy=")
+  message(FATAL_ERROR "gen output shape mismatch:\n${gen_out}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/tiny.lsi")
+  message(FATAL_ERROR "gen did not create tiny.lsi")
+endif()
+
+# span: builds the spanner and exports dot + csv.
+run_cli(0 span_out span --in tiny.lsi --eps 0.5 --out-dot tiny.dot --out-csv tiny.csv)
+if(NOT span_out MATCHES "spanner: [0-9]+ -> [0-9]+ edges, stretch [0-9.]+ \\(bound 1\\.50\\)")
+  message(FATAL_ERROR "span output shape mismatch:\n${span_out}")
+endif()
+foreach(artifact tiny.dot tiny.csv)
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "span did not create ${artifact}")
+  endif()
+endforeach()
+
+# verify: exit 0 means the spanner passed verification.
+run_cli(0 verify_out verify --in tiny.lsi --eps 0.5)
+
+# route: prints delivery/stretch lines for both topologies.
+run_cli(0 route_out route --in tiny.lsi --eps 0.5 --trials 50)
+if(NOT route_out MATCHES "spanner +greedy routing: delivery [0-9.]+%")
+  message(FATAL_ERROR "route output shape mismatch:\n${route_out}")
+endif()
+
+# missing input file -> error exit.
+run_cli(1 missing_out span --in does_not_exist.lsi --eps 0.5)
+
+message(STATUS "cli_smoke: all checks passed")

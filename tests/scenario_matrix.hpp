@@ -1,0 +1,104 @@
+#pragma once
+/// \file scenario_matrix.hpp
+/// Shared test-infrastructure layer: a deterministic scenario matrix over the
+/// α-UBG workload space. End-to-end tests instantiate TEST_P suites over
+/// (dim, placement, alpha, n, seed) combinations instead of hand-rolling one
+/// ad-hoc instance per test, so every pipeline property is exercised across
+/// dimensions and deployment models with reproducible seeds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ubg/generator.hpp"
+
+namespace localspan::testinfra {
+
+/// One point of the scenario matrix. Fully determines a UBG instance.
+struct Scenario {
+  int dim = 2;
+  ubg::Placement placement = ubg::Placement::kUniform;
+  double alpha = 0.75;
+  int n = 128;
+  std::uint64_t seed = 1;
+
+  /// gtest-safe identifier, e.g. "d2_uniform_a075_n128_s1".
+  [[nodiscard]] std::string name() const {
+    const char* place = placement == ubg::Placement::kUniform     ? "uniform"
+                        : placement == ubg::Placement::kClustered ? "clustered"
+                                                                  : "corridor";
+    char alpha_buf[16];
+    std::snprintf(alpha_buf, sizeof(alpha_buf), "%03d",
+                  static_cast<int>(alpha * 100.0 + 0.5));
+    return "d" + std::to_string(dim) + "_" + place + "_a" + alpha_buf + "_n" +
+           std::to_string(n) + "_s" + std::to_string(seed);
+  }
+
+  [[nodiscard]] ubg::UbgConfig config() const {
+    ubg::UbgConfig cfg;
+    cfg.n = n;
+    cfg.dim = dim;
+    cfg.alpha = alpha;
+    cfg.placement = placement;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  /// Deterministic instance: same Scenario -> bitwise-identical network.
+  [[nodiscard]] ubg::UbgInstance make() const { return ubg::make_ubg(config()); }
+};
+
+/// Axes of the matrix; the cross product of all vectors is enumerated.
+struct MatrixSpec {
+  std::vector<int> dims{2, 3};
+  std::vector<ubg::Placement> placements{ubg::Placement::kUniform,
+                                         ubg::Placement::kClustered};
+  std::vector<double> alphas{0.6, 0.75, 1.0};
+  std::vector<int> ns{64, 128};
+  std::vector<std::uint64_t> seeds{1};
+};
+
+/// Enumerate the full cross product, in deterministic axis order.
+[[nodiscard]] inline std::vector<Scenario> scenario_matrix(const MatrixSpec& spec) {
+  std::vector<Scenario> out;
+  out.reserve(spec.dims.size() * spec.placements.size() * spec.alphas.size() *
+              spec.ns.size() * spec.seeds.size());
+  for (int dim : spec.dims) {
+    for (ubg::Placement placement : spec.placements) {
+      for (double alpha : spec.alphas) {
+        for (int n : spec.ns) {
+          for (std::uint64_t seed : spec.seeds) {
+            out.push_back(Scenario{dim, placement, alpha, n, seed});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// The standard end-to-end matrix: dims {2,3} x placements {uniform,
+/// clustered} x alphas {0.6, 0.75, 1.0} x n in {64, 128}, seed 1 (24 cells).
+[[nodiscard]] inline std::vector<Scenario> standard_matrix() {
+  return scenario_matrix(MatrixSpec{});
+}
+
+/// A trimmed matrix for expensive pipelines (8 cells): one alpha, both dims
+/// and placements, two sizes.
+[[nodiscard]] inline std::vector<Scenario> smoke_matrix() {
+  MatrixSpec spec;
+  spec.alphas = {0.75};
+  spec.ns = {48, 96};
+  return scenario_matrix(spec);
+}
+
+/// Name generator for INSTANTIATE_TEST_SUITE_P over Scenario params.
+struct ScenarioName {
+  std::string operator()(const ::testing::TestParamInfo<Scenario>& info) const {
+    return info.param.name();
+  }
+};
+
+}  // namespace localspan::testinfra

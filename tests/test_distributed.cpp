@@ -5,12 +5,15 @@
 #include <cmath>
 
 #include "core/distributed.hpp"
+#include "core/verify.hpp"
 #include "graph/components.hpp"
 #include "graph/metrics.hpp"
+#include "scenario_matrix.hpp"
 #include "ubg/generator.hpp"
 
 namespace core = localspan::core;
 namespace gr = localspan::graph;
+namespace ti = localspan::testinfra;
 namespace ub = localspan::ubg;
 
 namespace {
@@ -52,6 +55,22 @@ INSTANTIATE_TEST_SUITE_P(Sweep, DistributedEndToEnd,
                          ::testing::Values(DistCase{0.5, 0.75, 1}, DistCase{0.25, 0.75, 2},
                                            DistCase{1.0, 0.6, 3}, DistCase{0.5, 0.5, 4},
                                            DistCase{0.5, 1.0, 5}));
+
+// Scenario matrix (trimmed grid): the distributed driver must pass the full
+// verifier on every (dim, placement, n) cell of the shared matrix.
+class DistributedScenarioMatrix : public ::testing::TestWithParam<ti::Scenario> {};
+
+TEST_P(DistributedScenarioMatrix, VerifierPassesAcrossTheMatrix) {
+  const ti::Scenario& sc = GetParam();
+  const auto inst = sc.make();
+  const core::Params params = core::Params::practical_params(0.5, sc.alpha);
+  const auto result = core::distributed_relaxed_greedy(inst, params, {}, sc.seed);
+  EXPECT_TRUE(core::verify_spanner(inst, result.base.spanner, params.t).ok()) << sc.name();
+  EXPECT_GT(result.net.rounds_measured, 0) << sc.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, DistributedScenarioMatrix,
+                         ::testing::ValuesIn(ti::smoke_matrix()), ti::ScenarioName{});
 
 TEST(Distributed, StrictParamsAlsoWork) {
   const auto inst = instance(9, 100);

@@ -10,10 +10,12 @@
 #include "graph/metrics.hpp"
 #include "graph/mst.hpp"
 #include "mis/mis.hpp"
+#include "scenario_matrix.hpp"
 #include "ubg/generator.hpp"
 
 namespace core = localspan::core;
 namespace gr = localspan::graph;
+namespace ti = localspan::testinfra;
 namespace ub = localspan::ubg;
 
 namespace {
@@ -78,6 +80,28 @@ INSTANTIATE_TEST_SUITE_P(
                       EndToEndCase{0.5, 0.5, 5, true}, EndToEndCase{0.5, 1.0, 6, true},
                       EndToEndCase{0.5, 0.75, 7, false}, EndToEndCase{0.25, 0.6, 8, false},
                       EndToEndCase{2.0, 0.75, 9, true}, EndToEndCase{1.0, 0.4, 10, false}));
+
+// Scenario matrix: the shared (dim x placement x alpha x n x seed) grid from
+// scenario_matrix.hpp. Every cell must satisfy the full spanner contract.
+class RelaxedScenarioMatrix : public ::testing::TestWithParam<ti::Scenario> {};
+
+TEST_P(RelaxedScenarioMatrix, SpannerContractHoldsAcrossTheMatrix) {
+  const ti::Scenario& sc = GetParam();
+  const auto inst = sc.make();
+  const core::Params params = core::Params::practical_params(0.5, sc.alpha);
+  const auto result = core::relaxed_greedy(inst, params);
+  EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9))
+      << sc.name();
+  EXPECT_EQ(gr::connected_components(inst.g).count,
+            gr::connected_components(result.spanner).count)
+      << sc.name();
+  for (const gr::Edge& e : result.spanner.edges()) {
+    ASSERT_TRUE(inst.g.has_edge(e.u, e.v)) << sc.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, RelaxedScenarioMatrix,
+                         ::testing::ValuesIn(ti::standard_matrix()), ti::ScenarioName{});
 
 // Cross-product sweep: dimension x placement x gray-zone policy. Every cell
 // must satisfy the exact stretch bound — the paper's guarantee is

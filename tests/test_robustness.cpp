@@ -15,12 +15,14 @@
 #include "graph/components.hpp"
 #include "graph/metrics.hpp"
 #include "runtime/gather.hpp"
+#include "scenario_matrix.hpp"
 #include "ubg/generator.hpp"
 
 namespace core = localspan::core;
 namespace cl = localspan::cluster;
 namespace gr = localspan::graph;
 namespace rt = localspan::runtime;
+namespace ti = localspan::testinfra;
 namespace ub = localspan::ubg;
 
 namespace {
@@ -110,6 +112,31 @@ TEST(Degenerate, DisconnectedNetworkGetsPerComponentSpanners) {
   EXPECT_EQ(gr::connected_components(result.spanner).count, 2);
   EXPECT_LE(gr::max_edge_stretch(inst.g, result.spanner), params.t * (1.0 + 1e-9));
 }
+
+// Scenario matrix: sequential and distributed drivers must land in the same
+// quality regime on every cell of the shared (dim, placement) grid — the
+// cross-validation argument of CrossValidation.SequentialAndDistributedAgree,
+// generalized beyond a single hand-picked instance.
+class CrossValidationMatrix : public ::testing::TestWithParam<ti::Scenario> {};
+
+TEST_P(CrossValidationMatrix, DriversAgreeOnQualityAcrossTheMatrix) {
+  const ti::Scenario& sc = GetParam();
+  const auto inst = sc.make();
+  const core::Params params = core::Params::practical_params(0.5, sc.alpha);
+  const auto seq = core::relaxed_greedy(inst, params);
+  const auto dist = core::distributed_relaxed_greedy(inst, params, {}, sc.seed);
+  EXPECT_TRUE(core::verify_spanner(inst, seq.spanner, params.t).ok()) << sc.name();
+  EXPECT_TRUE(core::verify_spanner(inst, dist.base.spanner, params.t).ok()) << sc.name();
+  if (seq.spanner.m() > 0) {
+    const double m_ratio =
+        static_cast<double>(dist.base.spanner.m()) / std::max(1, seq.spanner.m());
+    EXPECT_GT(m_ratio, 0.5) << sc.name();
+    EXPECT_LT(m_ratio, 2.0) << sc.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, CrossValidationMatrix,
+                         ::testing::ValuesIn(ti::smoke_matrix()), ti::ScenarioName{});
 
 TEST(FailureInjection, BrokenMisIsDetected) {
   // mis_cover must reject a "MIS" that is not maximal (a vertex left with no

@@ -12,6 +12,7 @@
 #include "graph/mst.hpp"
 #include "route/routing.hpp"
 #include "runtime/gather.hpp"
+#include "scenario_matrix.hpp"
 #include "ubg/generator.hpp"
 
 namespace core = localspan::core;
@@ -19,6 +20,7 @@ namespace ext = localspan::ext;
 namespace gr = localspan::graph;
 namespace rt = localspan::runtime;
 namespace route = localspan::route;
+namespace ti = localspan::testinfra;
 namespace ub = localspan::ubg;
 
 namespace {
@@ -32,6 +34,27 @@ ub::UbgInstance instance(std::uint64_t seed, int n = 150) {
 }
 
 }  // namespace
+
+// Scenario matrix: the verifier must pass the relaxed-greedy output on every
+// cell, and on 2-d cells the spanner must stay routable by greedy forwarding.
+class VerifyScenarioMatrix : public ::testing::TestWithParam<ti::Scenario> {};
+
+TEST_P(VerifyScenarioMatrix, VerifierAndRoutingAcrossTheMatrix) {
+  const ti::Scenario& sc = GetParam();
+  const auto inst = sc.make();
+  const core::Params params = core::Params::practical_params(0.5, sc.alpha);
+  const auto result = core::relaxed_greedy(inst, params);
+  const core::VerificationReport rep = core::verify_spanner(inst, result.spanner, params.t);
+  EXPECT_TRUE(rep.ok()) << sc.name() << "\n" << rep.summary();
+  if (sc.dim == 2 && inst.g.m() > 0) {
+    const route::RoutingStats st =
+        route::evaluate_routing(inst, result.spanner, route::Forwarding::kGreedy, 50, sc.seed);
+    EXPECT_GT(st.delivery_rate, 0.0) << sc.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, VerifyScenarioMatrix,
+                         ::testing::ValuesIn(ti::smoke_matrix()), ti::ScenarioName{});
 
 TEST(Verify, PassesOnCorrectSpanner) {
   const auto inst = instance(1);

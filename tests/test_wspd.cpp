@@ -135,7 +135,9 @@ TEST(Wspd, LinearSizeForFixedSeparation) {
     const ws::SplitTree tree(pts);
     const double ratio =
         static_cast<double>(ws::well_separated_pairs(tree, s).size()) / n;
-    if (prev_ratio > 0.0) EXPECT_LT(ratio, prev_ratio * 1.5) << n;
+    if (prev_ratio > 0.0) {
+      EXPECT_LT(ratio, prev_ratio * 1.5) << n;
+    }
     prev_ratio = ratio;
     EXPECT_LT(ratio, 40.0);
   }
