@@ -1,0 +1,133 @@
+/// E15 — dynamic topology maintenance: incremental local repair vs full
+/// recompute under churn.
+///
+/// For each (n, trace model) cell the same event trace is applied twice to
+/// the same seed instance: once through the DynamicSpanner's dirty-ball
+/// repair (with the per-event local certification on, as deployed), once
+/// through the rebuild-from-scratch baseline. Reported: per-event wall
+/// time for both modes, the speedup, mean dirty-ball size (the locality
+/// the paper promises), and fallback count (0 = the locality argument held
+/// on every event).
+///
+/// The baseline is timed on a prefix of the trace (full recomputes at
+/// n = 2048 cost ~1 s/event; the mean is stable after a few events) —
+/// `timed` in the table says how many events the baseline mean covers.
+///
+/// LOCALSPAN_BENCH_QUICK=1 trims sizes/events for CI smoke runs.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/params.hpp"
+#include "dynamic/churn.hpp"
+#include "dynamic/dynamic_spanner.hpp"
+
+using namespace localspan;
+namespace bu = localspan::benchutil;
+
+namespace {
+
+struct CellResult {
+  std::size_t events = 0;
+  std::size_t baseline_timed = 0;
+  double inc_ms_per_event = 0.0;
+  double full_ms_per_event = 0.0;
+  double mean_ball = 0.0;
+  int max_ball = 0;
+  int fallbacks = 0;
+};
+
+dynamic::ChurnTrace make_trace(const ubg::UbgInstance& inst, const std::string& model,
+                               int events, std::uint64_t seed) {
+  if (model == "waypoint") {
+    dynamic::WaypointConfig cfg;
+    cfg.movers = std::max(2, inst.g.n() / 256);
+    cfg.speed = 0.25;
+    cfg.sample_dt = 0.25;
+    cfg.duration = cfg.sample_dt * events / cfg.movers;
+    cfg.seed = seed;
+    return dynamic::random_waypoint(inst, cfg);
+  }
+  dynamic::PoissonChurnConfig cfg;
+  cfg.events = events;
+  cfg.seed = seed;
+  return dynamic::poisson_churn(inst, cfg);
+}
+
+CellResult run_cell(const ubg::UbgInstance& inst, const core::Params& params,
+                    const dynamic::ChurnTrace& trace, std::size_t baseline_events) {
+  CellResult res;
+  res.events = trace.events.size();
+
+  // Incremental mode, per-event certification on — the deployed config.
+  {
+    dynamic::DynamicSpanner engine(inst, params);
+    double seconds = 0.0;
+    long long balls = 0;
+    for (const dynamic::RepairStats& st : engine.apply_all(trace)) {
+      seconds += st.seconds;
+      balls += st.ball_size;
+      res.max_ball = std::max(res.max_ball, st.ball_size);
+      if (st.fell_back) ++res.fallbacks;
+    }
+    const auto count = static_cast<double>(std::max<std::size_t>(1, res.events));
+    res.inc_ms_per_event = 1e3 * seconds / count;
+    res.mean_ball = static_cast<double>(balls) / count;
+  }
+
+  // Full-recompute baseline on a prefix of the same trace.
+  {
+    dynamic::DynamicOptions opts;
+    opts.always_full_recompute = true;
+    opts.check = dynamic::CheckLevel::kOff;
+    dynamic::DynamicSpanner engine(inst, params, opts);
+    res.baseline_timed = std::min(baseline_events, trace.events.size());
+    double seconds = 0.0;
+    for (std::size_t i = 0; i < res.baseline_timed; ++i) {
+      seconds += engine.apply(trace.events[i]).seconds;
+    }
+    res.full_ms_per_event = 1e3 * seconds / static_cast<double>(std::max<std::size_t>(1, res.baseline_timed));
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("LOCALSPAN_BENCH_QUICK") != nullptr;
+  const std::vector<int> ns = quick ? std::vector<int>{192, 384}
+                                    : std::vector<int>{256, 1024, 2048};
+  const int events = quick ? 12 : 32;
+  const std::size_t baseline_events = quick ? 3 : 8;
+  const double eps = 0.5;
+  const double alpha = 0.75;
+
+  bu::JsonReport report("E15");
+  report.meta("eps", eps);
+  report.meta("alpha", alpha);
+  report.meta("events", static_cast<long long>(events));
+  report.meta("quick", std::string(quick ? "yes" : "no"));
+
+  bu::Table table({"n", "model", "events", "inc ev/s", "inc ms/ev", "full ms/ev", "speedup",
+                   "mean |B|", "max |B|", "ball frac", "timed", "fallbacks"});
+  const core::Params params = core::Params::practical_params(eps, alpha);
+  for (int n : ns) {
+    const ubg::UbgInstance inst = bu::standard_instance(n, alpha, 7);
+    for (const char* model : {"poisson", "waypoint"}) {
+      const dynamic::ChurnTrace trace = make_trace(inst, model, events, 7);
+      const CellResult res = run_cell(inst, params, trace, baseline_events);
+      table.add_row({bu::fmt_int(n), model, bu::fmt_int(static_cast<long long>(res.events)),
+                     bu::fmt(1e3 / std::max(res.inc_ms_per_event, 1e-9), 1),
+                     bu::fmt(res.inc_ms_per_event), bu::fmt(res.full_ms_per_event),
+                     bu::fmt(res.full_ms_per_event / std::max(res.inc_ms_per_event, 1e-9), 2),
+                     bu::fmt(res.mean_ball, 1), bu::fmt_int(res.max_ball),
+                     bu::fmt(res.mean_ball / n), bu::fmt_int(static_cast<long long>(res.baseline_timed)),
+                     bu::fmt_int(res.fallbacks)});
+    }
+  }
+  report.print("E15: incremental repair vs full recompute under churn", table);
+  return report.write() ? 0 : 1;
+}

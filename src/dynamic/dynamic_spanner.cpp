@@ -1,0 +1,308 @@
+#include "dynamic/dynamic_spanner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/dijkstra.hpp"
+#include "graph/metrics.hpp"
+
+namespace localspan::dynamic {
+
+namespace {
+
+/// Deduplicate a small id set in place.
+void sort_unique(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+DynamicSpanner::DynamicSpanner(ubg::UbgInstance inst, const core::Params& params,
+                               DynamicOptions opts)
+    : inst_(std::move(inst)), params_(params), opts_(std::move(opts)), spanner_(0) {
+  params_.validate();
+  if (std::abs(params_.alpha - inst_.config.alpha) > 1e-12) {
+    throw std::invalid_argument("DynamicSpanner: params.alpha != instance alpha");
+  }
+  if (opts_.connect_radius < inst_.config.alpha - 1e-12 || opts_.connect_radius > 1.0 + 1e-12) {
+    throw std::invalid_argument("DynamicSpanner: connect_radius must be in [alpha, 1]");
+  }
+  if (opts_.radius_scale < 1.0) {
+    throw std::invalid_argument("DynamicSpanner: radius_scale must be >= 1");
+  }
+  wmax_ = active_weight(1.0);
+  if (!(wmax_ > 0.0) || !std::isfinite(wmax_)) {
+    throw std::invalid_argument("DynamicSpanner: weight transform must map 1 to a positive weight");
+  }
+  witness_bound_ = params_.t * wmax_;
+  core_radius_ = opts_.radius_scale * (params_.t + 1.0) * wmax_;
+  ball_radius_ = core_radius_ + witness_bound_;
+  if (opts_.ball_radius_override > 0.0) {
+    ball_radius_ = opts_.ball_radius_override;
+    core_radius_ = std::max(0.0, ball_radius_ - witness_bound_);
+  }
+  active_.assign(static_cast<std::size_t>(inst_.g.n()), 1);
+  active_count_ = inst_.g.n();
+  full_recompute();
+}
+
+double DynamicSpanner::active_weight(double len) const {
+  return opts_.greedy.weight_transform ? opts_.greedy.weight_transform(len) : len;
+}
+
+geom::Point DynamicSpanner::parked_position(int v) const {
+  // Dead slots sit on the negative side of axis 0, 2.0 apart — beyond
+  // distance 1 of the deployment quadrant and of each other, so the
+  // instance stays a valid α-UBG with the slot correctly isolated.
+  geom::Point p(inst_.config.dim);
+  p[0] = -(2.0 + 2.0 * v);
+  return p;
+}
+
+bool DynamicSpanner::is_active(int v) const {
+  return v >= 0 && v < inst_.g.n() && active_[static_cast<std::size_t>(v)] != 0;
+}
+
+void DynamicSpanner::ensure_slot(int v) {
+  while (inst_.g.n() <= v) {
+    const int id = inst_.g.add_vertex();
+    inst_.points.push_back(parked_position(id));
+    active_.push_back(0);
+    spanner_.add_vertex();
+    ++inst_.config.n;
+  }
+}
+
+void DynamicSpanner::check_position(const geom::Point& pos) const {
+  if (pos.dim() != inst_.config.dim) {
+    throw std::invalid_argument("DynamicSpanner: event position dimension mismatch");
+  }
+  for (int k = 0; k < pos.dim(); ++k) {
+    if (!std::isfinite(pos[k]) || pos[k] < 0.0) {
+      throw std::invalid_argument(
+          "DynamicSpanner: positions must be finite and non-negative (the deployment quadrant)");
+    }
+  }
+}
+
+void DynamicSpanner::full_recompute() {
+  spanner_ = core::relaxed_greedy(inst_, params_, opts_.greedy).spanner;
+}
+
+std::vector<int> DynamicSpanner::update_ubg(const ChurnEvent& ev, RepairStats* st) {
+  std::vector<int> touched;
+  switch (ev.kind) {
+    case EventKind::kJoin: {
+      if (ev.node < 0) throw std::invalid_argument("DynamicSpanner: negative node id");
+      if (is_active(ev.node)) throw std::invalid_argument("DynamicSpanner: join of a live node");
+      check_position(ev.pos);
+      ensure_slot(ev.node);
+      const auto slot = static_cast<std::size_t>(ev.node);
+      inst_.points[slot] = ev.pos;
+      active_[slot] = 1;
+      ++active_count_;
+      touched.push_back(ev.node);
+      for (int u = 0; u < inst_.g.n(); ++u) {
+        if (u == ev.node || !active_[static_cast<std::size_t>(u)]) continue;
+        const double d = inst_.dist(ev.node, u);
+        if (d <= opts_.connect_radius) {
+          inst_.g.add_edge(ev.node, u, std::max(d, 1e-12));
+          touched.push_back(u);
+        }
+      }
+      break;
+    }
+    case EventKind::kLeave: {
+      if (!is_active(ev.node)) throw std::invalid_argument("DynamicSpanner: leave of a dead node");
+      const std::span<const graph::Neighbor> nbs = inst_.g.neighbors(ev.node);
+      touched.reserve(nbs.size());
+      for (const graph::Neighbor& nb : nbs) touched.push_back(nb.to);
+      for (int u : touched) {
+        inst_.g.remove_edge(ev.node, u);
+        if (spanner_.remove_edge(ev.node, u)) ++st->spanner_edges_removed;
+      }
+      const auto slot = static_cast<std::size_t>(ev.node);
+      active_[slot] = 0;
+      --active_count_;
+      inst_.points[slot] = parked_position(ev.node);
+      break;
+    }
+    case EventKind::kMove: {
+      if (!is_active(ev.node)) throw std::invalid_argument("DynamicSpanner: move of a dead node");
+      check_position(ev.pos);
+      // All incident edges are recomputed: lengths changed, so weights must
+      // too, and the local rerun re-derives the node's spanner edges anyway.
+      std::vector<int> old_nbrs;
+      for (const graph::Neighbor& nb : inst_.g.neighbors(ev.node)) old_nbrs.push_back(nb.to);
+      for (int u : old_nbrs) {
+        inst_.g.remove_edge(ev.node, u);
+        if (spanner_.remove_edge(ev.node, u)) ++st->spanner_edges_removed;
+      }
+      inst_.points[static_cast<std::size_t>(ev.node)] = ev.pos;
+      touched = std::move(old_nbrs);
+      touched.push_back(ev.node);
+      for (int u = 0; u < inst_.g.n(); ++u) {
+        if (u == ev.node || !active_[static_cast<std::size_t>(u)]) continue;
+        const double d = inst_.dist(ev.node, u);
+        if (d <= opts_.connect_radius) {
+          inst_.g.add_edge(ev.node, u, std::max(d, 1e-12));
+          touched.push_back(u);
+        }
+      }
+      break;
+    }
+  }
+  sort_unique(touched);
+  // Only live vertices seed the dirty ball (a departed node is isolated).
+  std::erase_if(touched, [this](int v) { return !is_active(v); });
+  return touched;
+}
+
+void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
+                            std::vector<int>* modified) {
+  const std::function<double(double)>& tf = opts_.greedy.weight_transform;
+  const graph::ShortestPaths sp =
+      graph::dijkstra_multi_bounded(inst_.g, touched, ball_radius_, tf);
+
+  std::vector<int> ball;
+  std::vector<int> local_id(static_cast<std::size_t>(inst_.g.n()), -1);
+  std::vector<char> in_core(static_cast<std::size_t>(inst_.g.n()), 0);
+  for (int v = 0; v < inst_.g.n(); ++v) {
+    const double d = sp.dist[static_cast<std::size_t>(v)];
+    if (d > ball_radius_) continue;
+    local_id[static_cast<std::size_t>(v)] = static_cast<int>(ball.size());
+    ball.push_back(v);
+    if (d <= core_radius_) {
+      in_core[static_cast<std::size_t>(v)] = 1;
+      ++st->core_size;
+    }
+  }
+  st->ball_size = static_cast<int>(ball.size());
+
+  // The α-UBG induced on B is itself a valid α-UBG over the ball's points,
+  // so the whole static pipeline applies to it unchanged.
+  ubg::UbgInstance sub{inst_.config, {}, graph::Graph(static_cast<int>(ball.size()))};
+  sub.config.n = static_cast<int>(ball.size());
+  sub.points.reserve(ball.size());
+  for (int v : ball) sub.points.push_back(inst_.points[static_cast<std::size_t>(v)]);
+  for (int v : ball) {
+    for (const graph::Neighbor& nb : inst_.g.neighbors(v)) {
+      if (v < nb.to && local_id[static_cast<std::size_t>(nb.to)] >= 0) {
+        sub.g.add_edge(local_id[static_cast<std::size_t>(v)],
+                       local_id[static_cast<std::size_t>(nb.to)], nb.w);
+        ++st->sub_edges;
+      }
+    }
+  }
+
+  graph::Graph local(0);
+  if (sub.g.n() > 0) local = core::relaxed_greedy(sub, params_, opts_.greedy).spanner;
+
+  // Splice. Drop standing edges with both endpoints in the core (the local
+  // result replaces them); keep everything crossing the boundary so distant
+  // witnesses survive; insert every locally chosen edge.
+  for (int v : ball) {
+    if (!in_core[static_cast<std::size_t>(v)]) continue;
+    std::vector<int> drop;
+    for (const graph::Neighbor& nb : spanner_.neighbors(v)) {
+      if (v < nb.to && in_core[static_cast<std::size_t>(nb.to)]) drop.push_back(nb.to);
+    }
+    for (int u : drop) {
+      spanner_.remove_edge(v, u);
+      ++st->spanner_edges_removed;
+      modified->push_back(v);
+      modified->push_back(u);
+    }
+  }
+  for (const graph::Edge& e : local.edges()) {
+    const int gu = ball[static_cast<std::size_t>(e.u)];
+    const int gv = ball[static_cast<std::size_t>(e.v)];
+    if (spanner_.add_edge(gu, gv, e.w)) {
+      ++st->spanner_edges_added;
+      modified->push_back(gu);
+      modified->push_back(gv);
+    }
+  }
+}
+
+bool DynamicSpanner::certify(const std::vector<int>& modified) const {
+  const std::function<double(double)>& tf = opts_.greedy.weight_transform;
+  const double scope_radius = witness_bound_ + wmax_;
+  std::vector<char> in_scope(static_cast<std::size_t>(inst_.g.n()), 1);
+  if (!modified.empty()) {
+    const graph::ShortestPaths sp =
+        graph::dijkstra_multi_bounded(inst_.g, modified, scope_radius, tf);
+    for (int v = 0; v < inst_.g.n(); ++v) {
+      in_scope[static_cast<std::size_t>(v)] = sp.dist[static_cast<std::size_t>(v)] <= scope_radius;
+    }
+  }
+  // Re-derivation tolerance: witness weights are sums of O(1/wmin) doubles.
+  const double slack = 1.0 + 1e-9;
+  for (int u = 0; u < inst_.g.n(); ++u) {
+    if (!in_scope[static_cast<std::size_t>(u)]) continue;
+    if (spanner_.degree(u) > opts_.caps.max_degree) return false;
+    for (const graph::Neighbor& nb : inst_.g.neighbors(u)) {
+      // Each scoped edge once: via its smaller endpoint when both are
+      // scoped, else via the scoped one.
+      if (in_scope[static_cast<std::size_t>(nb.to)] && nb.to < u) continue;
+      // spanner_ edge weights are already in active (transformed) units —
+      // relaxed_greedy stores transform(len) on every edge it emits — so the
+      // sp_distance sum below is directly comparable to this bound.
+      const double w = active_weight(nb.w);
+      const double bound = params_.t * w * slack;
+      if (graph::sp_distance(spanner_, u, nb.to, bound) > bound) return false;
+    }
+  }
+  return true;
+}
+
+RepairStats DynamicSpanner::apply(const ChurnEvent& ev) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RepairStats st;
+  st.kind = ev.kind;
+  st.node = ev.node;
+  st.time = ev.time;
+
+  std::vector<int> modified = update_ubg(ev, &st);
+  if (opts_.always_full_recompute) {
+    full_recompute();
+  } else if (!modified.empty()) {
+    std::vector<int> touched = modified;  // D: seeds of the dirty ball
+    repair(touched, &st, &modified);
+    sort_unique(modified);
+
+    if (opts_.check != CheckLevel::kOff) {
+      st.check_ran = true;
+      bool ok = opts_.check == CheckLevel::kFull ? certify({}) : certify(modified);
+      if (ok && opts_.check == CheckLevel::kFull) {
+        ok = graph::lightness(inst_.g, spanner_) <= opts_.caps.lightness;
+      }
+      st.check_passed = ok;
+      if (!ok && opts_.allow_fallback) {
+        full_recompute();
+        st.fell_back = true;
+      }
+    }
+  }
+
+  st.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return st;
+}
+
+std::vector<RepairStats> DynamicSpanner::apply_all(const ChurnTrace& trace) {
+  if (trace.dim != inst_.config.dim) {
+    throw std::invalid_argument("DynamicSpanner: trace dim does not match instance");
+  }
+  if (std::abs(trace.alpha - inst_.config.alpha) > 1e-12) {
+    throw std::invalid_argument("DynamicSpanner: trace alpha does not match instance");
+  }
+  std::vector<RepairStats> out;
+  out.reserve(trace.events.size());
+  for (const ChurnEvent& ev : trace.events) out.push_back(apply(ev));
+  return out;
+}
+
+}  // namespace localspan::dynamic

@@ -1,0 +1,175 @@
+#pragma once
+/// \file dynamic_spanner.hpp
+/// Incremental maintenance of the relaxed-greedy spanner under topology
+/// churn — the dynamic counterpart of core/relaxed_greedy.hpp.
+///
+/// The paper's algorithm is local: every decision about an edge {u,v} is a
+/// function of an O(1)-radius neighborhood (cluster covers reach δW_{i-1},
+/// witness paths reach t·|uv| <= t, and all edge lengths are <= 1). The
+/// engine exploits exactly that locality. After an event changes the UBG at
+/// a touched vertex set D it
+///
+///   1. computes the *dirty ball* B = { v : d(v, D) <= R } and its core
+///      C = { v : d(v, D) <= K } (weighted distances in the active weight,
+///      i.e. through the §1.6 transform when one is configured),
+///   2. re-runs the full relaxed-greedy machinery on the α-UBG induced on B,
+///   3. splices: drops standing spanner edges with both endpoints in C and
+///      inserts every edge of the local result,
+///   4. re-certifies the invariants (stretch <= t against every UBG edge
+///      whose witness could have been disturbed, degree cap) and falls back
+///      to a full recompute if certification fails.
+///
+/// With wmax = transform(1) (the heaviest possible edge), witness paths
+/// weigh at most W = t·wmax, and the radii K = (t+1)·wmax, R = K + W make
+/// the splice provably safe: an edge {x,y} whose old witness traversed a
+/// dropped edge (a core edge, or a UBG edge incident to D) satisfies
+/// d(x,D) <= K + W and d(y,D) <= K + W, so both endpoints lie in B and the
+/// local rerun supplies a fresh witness; every other edge keeps its old
+/// witness untouched. The step-4 checker therefore acts as a safety net for
+/// engineering drift (and as the enforcement point for the degree cap,
+/// which the union splice does not re-derive), not as the correctness
+/// argument.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "core/verify.hpp"
+#include "dynamic/churn.hpp"
+#include "graph/graph.hpp"
+#include "ubg/generator.hpp"
+
+namespace localspan::dynamic {
+
+/// How much re-certification runs after each event.
+enum class CheckLevel {
+  kOff,    ///< trust the locality argument; no per-event certification.
+  kLocal,  ///< certify stretch on every edge a disturbed witness could serve.
+  kFull,   ///< certify stretch on all UBG edges plus the lightness cap.
+};
+
+struct DynamicOptions {
+  /// Passed through to every local rerun and to full recomputes, so the
+  /// dynamic spanner honors ablations and the §1.6 weight transform.
+  core::RelaxedGreedyOptions greedy;
+
+  /// Deterministic gray-zone rule applied to event-incident pairs: connect
+  /// iff distance <= connect_radius, with alpha <= connect_radius <= 1.
+  /// (A probabilistic generation-time policy cannot be replayed for nodes it
+  /// has never seen; the engine's rule takes over at the churn boundary.)
+  double connect_radius = 1.0;
+
+  /// Scales the core radius K (ball radius follows as R = K + t·wmax).
+  /// 1.0 is the provably safe minimum; larger trades repair cost for less
+  /// splice-boundary drift.
+  double radius_scale = 1.0;
+
+  /// Overrides the dirty-ball radius R outright when > 0 — for experiments
+  /// on the locality/correctness trade-off and for exercising the fallback
+  /// path in tests. The core shrinks to K = max(0, R - t·wmax).
+  double ball_radius_override = 0.0;
+
+  CheckLevel check = CheckLevel::kLocal;
+
+  /// Fall back to a full recompute when certification fails. When false the
+  /// failure is only recorded in RepairStats (experiment mode).
+  bool allow_fallback = true;
+
+  /// Baseline mode: rebuild the spanner from scratch after every event
+  /// instead of repairing locally (what the E15 bench races against).
+  bool always_full_recompute = false;
+
+  /// Degree/lightness caps enforced by the checker (lightness at kFull only).
+  core::VerifyCaps caps;
+};
+
+/// Per-event repair telemetry (the E15 bench aggregates these).
+struct RepairStats {
+  EventKind kind = EventKind::kJoin;
+  int node = 0;
+  double time = 0.0;
+
+  int ball_size = 0;             ///< |B|.
+  int core_size = 0;             ///< |C|.
+  int sub_edges = 0;             ///< UBG edges induced on B (local rerun size).
+  int spanner_edges_removed = 0; ///< dropped: UBG-departed + core replacement.
+  int spanner_edges_added = 0;   ///< inserted from the local rerun.
+
+  bool check_ran = false;
+  bool check_passed = true;
+  bool fell_back = false;
+
+  double seconds = 0.0;  ///< wall time of the whole apply() call.
+};
+
+/// A standing spanner over a mutable α-UBG instance.
+///
+/// Node lifecycle: ids are slots. Live slots carry a position inside the
+/// deployment box (all coordinates >= 0); dead slots are parked at distinct
+/// far-away positions (coordinate 0 negative) so the instance remains a
+/// *valid* α-UBG at all times — parked nodes are beyond distance 1 of
+/// everything and therefore correctly isolated, and every algorithm in the
+/// static stack treats them as trivial components.
+class DynamicSpanner {
+ public:
+  /// Takes ownership of the instance, computes the initial spanner with the
+  /// standard static pipeline. \throws std::invalid_argument on parameter
+  /// violations (including connect_radius outside [alpha, 1]).
+  DynamicSpanner(ubg::UbgInstance inst, const core::Params& params, DynamicOptions opts = {});
+
+  /// Apply one event: update the UBG, repair the spanner locally, certify.
+  /// \throws std::invalid_argument on an event invalid for the current
+  /// topology (join of a live node, leave/move of a dead one, position
+  /// outside the deployment quadrant, dimension mismatch).
+  RepairStats apply(const ChurnEvent& ev);
+
+  /// Apply a whole trace in order. \throws std::invalid_argument when the
+  /// trace header does not match the instance (dim/alpha).
+  std::vector<RepairStats> apply_all(const ChurnTrace& trace);
+
+  /// Rebuild the spanner from scratch with the static pipeline (also the
+  /// certification-failure fallback).
+  void full_recompute();
+
+  [[nodiscard]] const ubg::UbgInstance& instance() const noexcept { return inst_; }
+  [[nodiscard]] const graph::Graph& spanner() const noexcept { return spanner_; }
+  [[nodiscard]] const core::Params& params() const noexcept { return params_; }
+  [[nodiscard]] bool is_active(int v) const;
+  [[nodiscard]] int active_count() const noexcept { return active_count_; }
+
+  /// The dirty-ball radius R and core radius K in active weight.
+  [[nodiscard]] double ball_radius() const noexcept { return ball_radius_; }
+  [[nodiscard]] double core_radius() const noexcept { return core_radius_; }
+
+  /// The certification pass alone, scoped to witnesses that can reach
+  /// `modified` (empty => certify everything, as CheckLevel::kFull does).
+  /// Exposed for tests and the CLI's final audit.
+  [[nodiscard]] bool certify(const std::vector<int>& modified) const;
+
+ private:
+  [[nodiscard]] double active_weight(double len) const;
+  [[nodiscard]] geom::Point parked_position(int v) const;
+  void ensure_slot(int v);
+  void check_position(const geom::Point& pos) const;
+
+  /// Mutate the UBG (and drop departed spanner edges); returns the touched
+  /// live vertex set D, deduplicated.
+  std::vector<int> update_ubg(const ChurnEvent& ev, RepairStats* st);
+
+  void repair(const std::vector<int>& touched, RepairStats* st, std::vector<int>* modified);
+
+  ubg::UbgInstance inst_;
+  core::Params params_;
+  DynamicOptions opts_;
+  graph::Graph spanner_;
+  std::vector<char> active_;
+  int active_count_ = 0;
+  double wmax_ = 1.0;         ///< transform(1): heaviest possible edge weight.
+  double witness_bound_ = 0;  ///< W = t·wmax.
+  double core_radius_ = 0;    ///< K.
+  double ball_radius_ = 0;    ///< R = K + W (unless overridden).
+};
+
+}  // namespace localspan::dynamic

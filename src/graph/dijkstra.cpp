@@ -57,6 +57,38 @@ double sp_distance(const Graph& g, int u, int v, double bound) {
   return d <= bound ? d : kInf;
 }
 
+ShortestPaths dijkstra_multi_bounded(const Graph& g, std::span<const int> sources, double radius,
+                                     const std::function<double(double)>& weight) {
+  if (radius < 0.0) throw std::invalid_argument("dijkstra_multi_bounded: negative radius");
+  ShortestPaths sp;
+  sp.dist.assign(static_cast<std::size_t>(g.n()), kInf);
+  sp.parent.assign(static_cast<std::size_t>(g.n()), -1);
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  for (int s : sources) {
+    if (s < 0 || s >= g.n()) throw std::invalid_argument("dijkstra_multi_bounded: source out of range");
+    if (sp.dist[static_cast<std::size_t>(s)] > 0.0) {
+      sp.dist[static_cast<std::size_t>(s)] = 0.0;
+      pq.push({0.0, s});
+    }
+  }
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > sp.dist[static_cast<std::size_t>(v)]) continue;  // stale entry
+    if (d > radius) break;
+    for (const Neighbor& nb : g.neighbors(v)) {
+      const double nd = d + (weight ? weight(nb.w) : nb.w);
+      if (nd > radius) continue;
+      if (nd < sp.dist[static_cast<std::size_t>(nb.to)]) {
+        sp.dist[static_cast<std::size_t>(nb.to)] = nd;
+        sp.parent[static_cast<std::size_t>(nb.to)] = v;
+        pq.push({nd, nb.to});
+      }
+    }
+  }
+  return sp;
+}
+
 std::vector<int> khop_ball(const Graph& g, int src, int k) {
   if (src < 0 || src >= g.n()) throw std::invalid_argument("khop_ball: source out of range");
   if (k < 0) throw std::invalid_argument("khop_ball: negative hop count");

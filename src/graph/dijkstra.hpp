@@ -9,7 +9,9 @@
 /// both the asymptotic trick of Das–Narasimhan and what keeps the phased
 /// algorithm near-linear in practice.
 
+#include <functional>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -35,6 +37,15 @@ struct ShortestPaths {
 /// sp(u, v), or kInf if it exceeds `bound`. Early-exits as soon as v is
 /// settled or the frontier minimum passes the bound.
 [[nodiscard]] double sp_distance(const Graph& g, int u, int v, double bound = kInf);
+
+/// Multi-source bounded Dijkstra: dist[v] = min over sources s of sp(s, v),
+/// settling only vertices within `radius`. When `weight` is non-null each
+/// stored edge weight is mapped through it before use (so the dynamic engine
+/// can measure balls in §1.6-transformed weights without copying the graph).
+/// Duplicate sources are fine; `parent` marks sources with -1 as usual.
+[[nodiscard]] ShortestPaths dijkstra_multi_bounded(
+    const Graph& g, std::span<const int> sources, double radius,
+    const std::function<double(double)>& weight = {});
 
 /// Vertices within `k` hops of src (unweighted BFS ball), including src.
 /// Models the "gather information from <= k hops away" primitive that the

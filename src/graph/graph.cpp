@@ -10,6 +10,11 @@ Graph::Graph(int n) {
   adj_.resize(static_cast<std::size_t>(n));
 }
 
+int Graph::add_vertex() {
+  adj_.emplace_back();
+  return n() - 1;
+}
+
 void Graph::check_vertex(int u) const {
   if (u < 0 || u >= n()) throw std::invalid_argument("Graph: vertex out of range");
 }

@@ -37,6 +37,10 @@ class Graph {
   [[nodiscard]] int n() const noexcept { return static_cast<int>(adj_.size()); }
   [[nodiscard]] int m() const noexcept { return m_; }
 
+  /// Append an isolated vertex; returns its id (the new n-1). Existing ids
+  /// and edges are untouched — the growth primitive for dynamic topologies.
+  int add_vertex();
+
   /// Add undirected edge {u,v} with weight w > 0.
   /// \returns true if added, false if the edge already existed (weight kept).
   /// \throws std::invalid_argument on bad endpoints, self-loop or w <= 0.

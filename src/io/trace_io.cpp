@@ -1,0 +1,447 @@
+#include "io/trace_io.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace localspan::io {
+
+namespace {
+
+constexpr const char* kFormat = "localspan-churn-trace";
+constexpr int kVersion = 1;
+// 8-byte binary magic: format id + version byte + NUL padding.
+constexpr char kBinaryMagic[8] = {'L', 'S', 'C', 'T', 'R', 'C', 1, 0};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("trace_io: " + what);
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// -------------------------------------------------------------------------
+// JSON writing.
+// -------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------------------
+// JSON reading: a strict little RFC-8259 parser producing a generic value
+// tree, which the schema layer below interprets.
+// -------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after JSON document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "' in JSON input");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = (c == 't');
+        if (!consume_literal(c == 't' ? "true" : "false")) fail("bad literal");
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return {};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return v;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return v;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // The trace schema is pure ASCII; anything else is out of scope.
+          if (code >= 0x80) fail("non-ASCII \\u escape unsupported in traces");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape in string");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    // Enforce the RFC 8259 number grammar before converting: strtod alone
+    // would also accept hex floats, leading '+', '.5', '1.' and "inf".
+    const std::size_t start = pos_;
+    std::size_t p = pos_;
+    const auto digits = [&]() {
+      const std::size_t from = p;
+      while (p < text_.size() && text_[p] >= '0' && text_[p] <= '9') ++p;
+      return p > from;
+    };
+    if (p < text_.size() && text_[p] == '-') ++p;
+    if (p < text_.size() && text_[p] == '0') {
+      ++p;  // a leading zero stands alone
+    } else if (!digits()) {
+      fail("malformed JSON value");
+    }
+    if (p < text_.size() && text_[p] == '.') {
+      ++p;
+      if (!digits()) fail("malformed number: digits required after '.'");
+    }
+    if (p < text_.size() && (text_[p] == 'e' || text_[p] == 'E')) {
+      ++p;
+      if (p < text_.size() && (text_[p] == '+' || text_[p] == '-')) ++p;
+      if (!digits()) fail("malformed number: digits required in exponent");
+    }
+    // Convert exactly the validated token (strtod on the full tail could
+    // consume more, e.g. "0x10" after the grammar stopped at "0").
+    const std::string token = text_.substr(start, p - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed JSON value");
+    if (!std::isfinite(d)) fail("number out of double range");
+    pos_ = p;
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+double get_number(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+    fail(std::string("missing or non-numeric field '") + key + "'");
+  }
+  return v->number;
+}
+
+int get_int(const JsonValue& obj, const char* key) {
+  const double d = get_number(obj, key);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) fail(std::string("field '") + key + "' is not an integer");
+  return i;
+}
+
+// -------------------------------------------------------------------------
+// Binary record I/O. Fixed-width little-endian fields; the format targets
+// same-architecture replay artifacts, and kBinaryMagic guards against
+// cross-endian surprises only insofar as corrupt fields fail validation.
+// -------------------------------------------------------------------------
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T take(std::istream& is) {
+  T v{};
+  if (!is.read(reinterpret_cast<char*>(&v), sizeof(T))) fail("truncated binary trace");
+  return v;
+}
+
+}  // namespace
+
+void write_trace_json(std::ostream& os, const dynamic::ChurnTrace& trace) {
+  os << "{\n  \"format\": \"" << kFormat << "\",\n  \"version\": " << kVersion << ",\n";
+  os << "  \"dim\": " << trace.dim << ",\n";
+  os << "  \"alpha\": " << fmt_double(trace.alpha) << ",\n";
+  os << "  \"side\": " << fmt_double(trace.side) << ",\n";
+  os << "  \"events\": [";
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const dynamic::ChurnEvent& ev = trace.events[i];
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"t\": " << fmt_double(ev.time) << ", \"kind\": \""
+       << json_escape(dynamic::to_string(ev.kind)) << "\", \"node\": " << ev.node;
+    if (ev.kind != dynamic::EventKind::kLeave) {
+      os << ", \"pos\": [";
+      for (int k = 0; k < trace.dim; ++k) os << (k ? ", " : "") << fmt_double(ev.pos[k]);
+      os << "]";
+    }
+    os << "}";
+  }
+  os << (trace.events.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+dynamic::ChurnTrace read_trace_json(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const JsonValue root = JsonParser(buf.str()).parse();
+  if (root.type != JsonValue::Type::kObject) fail("top-level JSON value must be an object");
+  const JsonValue* format = root.find("format");
+  if (format == nullptr || format->type != JsonValue::Type::kString || format->string != kFormat) {
+    fail("not a churn trace (bad 'format' field)");
+  }
+  if (get_int(root, "version") != kVersion) fail("unsupported trace version");
+
+  dynamic::ChurnTrace trace;
+  trace.dim = get_int(root, "dim");
+  if (trace.dim < 2 || trace.dim > geom::kMaxDim) fail("dim out of range");
+  trace.alpha = get_number(root, "alpha");
+  trace.side = get_number(root, "side");
+
+  const JsonValue* events = root.find("events");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) fail("missing events array");
+  trace.events.reserve(events->array.size());
+  for (const JsonValue& e : events->array) {
+    if (e.type != JsonValue::Type::kObject) fail("event must be an object");
+    dynamic::ChurnEvent ev;
+    ev.time = get_number(e, "t");
+    ev.node = get_int(e, "node");
+    const JsonValue* kind = e.find("kind");
+    if (kind == nullptr || kind->type != JsonValue::Type::kString) fail("missing event kind");
+    if (kind->string == "join") ev.kind = dynamic::EventKind::kJoin;
+    else if (kind->string == "leave") ev.kind = dynamic::EventKind::kLeave;
+    else if (kind->string == "move") ev.kind = dynamic::EventKind::kMove;
+    else fail("unknown event kind '" + kind->string + "'");
+    ev.pos = geom::Point(trace.dim);
+    if (ev.kind != dynamic::EventKind::kLeave) {
+      const JsonValue* pos = e.find("pos");
+      if (pos == nullptr || pos->type != JsonValue::Type::kArray ||
+          static_cast<int>(pos->array.size()) != trace.dim) {
+        fail("event pos must be an array of dim numbers");
+      }
+      for (int k = 0; k < trace.dim; ++k) {
+        const JsonValue& c = pos->array[static_cast<std::size_t>(k)];
+        if (c.type != JsonValue::Type::kNumber) fail("pos coordinate must be a number");
+        ev.pos[k] = c.number;
+      }
+    }
+    trace.events.push_back(ev);
+  }
+  return trace;
+}
+
+void write_trace_binary(std::ostream& os, const dynamic::ChurnTrace& trace) {
+  os.write(kBinaryMagic, sizeof(kBinaryMagic));
+  put<std::int32_t>(os, trace.dim);
+  put<double>(os, trace.alpha);
+  put<double>(os, trace.side);
+  put<std::uint64_t>(os, trace.events.size());
+  for (const dynamic::ChurnEvent& ev : trace.events) {
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(ev.kind));
+    put<std::int32_t>(os, ev.node);
+    put<double>(os, ev.time);
+    if (ev.kind != dynamic::EventKind::kLeave) {
+      for (int k = 0; k < trace.dim; ++k) put<double>(os, ev.pos[k]);
+    }
+  }
+}
+
+dynamic::ChurnTrace read_trace_binary(std::istream& is) {
+  char magic[sizeof(kBinaryMagic)] = {};
+  if (!is.read(magic, sizeof(magic)) || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    fail("bad binary trace magic");
+  }
+  dynamic::ChurnTrace trace;
+  trace.dim = take<std::int32_t>(is);
+  if (trace.dim < 2 || trace.dim > geom::kMaxDim) fail("dim out of range");
+  trace.alpha = take<double>(is);
+  trace.side = take<double>(is);
+  const std::uint64_t count = take<std::uint64_t>(is);
+  // The count comes from an untrusted header: cap the up-front reservation
+  // so a corrupt file fails with "truncated binary trace" below instead of
+  // attempting an absurd allocation. (Genuine oversized traces still load —
+  // the vector grows normally past the reservation.)
+  trace.events.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    dynamic::ChurnEvent ev;
+    const auto kind = take<std::uint8_t>(is);
+    if (kind > 2) fail("corrupt event kind");
+    ev.kind = static_cast<dynamic::EventKind>(kind);
+    ev.node = take<std::int32_t>(is);
+    ev.time = take<double>(is);
+    ev.pos = geom::Point(trace.dim);
+    if (ev.kind != dynamic::EventKind::kLeave) {
+      for (int k = 0; k < trace.dim; ++k) ev.pos[k] = take<double>(is);
+    }
+    trace.events.push_back(ev);
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const dynamic::ChurnTrace& trace) {
+  const bool binary = path.size() >= 4 && path.compare(path.size() - 4, 4, ".ctb") == 0;
+  std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
+  if (!os) throw std::runtime_error("save_trace: cannot open " + path);
+  if (binary) write_trace_binary(os, trace);
+  else write_trace_json(os, trace);
+  if (!os) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+dynamic::ChurnTrace load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_trace: cannot open " + path);
+  char magic[sizeof(kBinaryMagic)] = {};
+  is.read(magic, sizeof(magic));
+  const bool binary = is.gcount() == sizeof(magic) &&
+                      std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0;
+  is.clear();
+  is.seekg(0);
+  return binary ? read_trace_binary(is) : read_trace_json(is);
+}
+
+}  // namespace localspan::io

@@ -1,6 +1,9 @@
 # CTest script: run one bench binary and validate its BENCH_<id>.json
-# artifact (exists, parses as JSON, has the stable schema fields).
-#   cmake -DBENCH=<binary> -DBENCH_ID=<id> -DWORK_DIR=<dir> -P bench_json_smoke.cmake
+# artifact (exists, parses as JSON, has the stable schema fields). When
+# -DCOLLECT=<tools/collect_bench.cmake> is given, additionally aggregate the
+# work dir into BENCH_SUMMARY.json and validate the summary.
+#   cmake -DBENCH=<binary> -DBENCH_ID=<id> -DWORK_DIR=<dir> [-DCOLLECT=<script>]
+#         -P bench_json_smoke.cmake
 
 if(NOT DEFINED BENCH OR NOT DEFINED BENCH_ID OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "usage: cmake -DBENCH=<bin> -DBENCH_ID=<id> -DWORK_DIR=<dir> -P bench_json_smoke.cmake")
@@ -47,3 +50,33 @@ if(n_cols LESS 1 OR n_rows LESS 1)
 endif()
 
 message(STATUS "bench_json_smoke: BENCH_${BENCH_ID}.json valid (${n_tables} tables, ${n_cols}x${n_rows})")
+
+if(DEFINED COLLECT)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" "-DDIR=${WORK_DIR}" -P "${COLLECT}"
+    RESULT_VARIABLE crc
+    OUTPUT_VARIABLE cout
+    ERROR_VARIABLE cerr)
+  if(NOT crc EQUAL 0)
+    message(FATAL_ERROR "collect_bench failed (${crc})\nstdout:\n${cout}\nstderr:\n${cerr}")
+  endif()
+  set(summary_file "${WORK_DIR}/BENCH_SUMMARY.json")
+  if(NOT EXISTS "${summary_file}")
+    message(FATAL_ERROR "collect_bench did not write ${summary_file}")
+  endif()
+  file(READ "${summary_file}" summary)
+  string(JSON summary_version GET "${summary}" "schema_version")
+  if(NOT summary_version EQUAL 1)
+    message(FATAL_ERROR "unexpected summary schema_version '${summary_version}'")
+  endif()
+  string(JSON summary_count GET "${summary}" "count")
+  string(JSON n_benches LENGTH "${summary}" "benches")
+  if(summary_count LESS 1 OR NOT n_benches EQUAL summary_count)
+    message(FATAL_ERROR "summary count mismatch: count=${summary_count}, benches=${n_benches}")
+  endif()
+  string(JSON first_id GET "${summary}" "benches" 0 "bench")
+  if(NOT first_id STREQUAL "${BENCH_ID}")
+    message(FATAL_ERROR "summary first bench is '${first_id}', expected '${BENCH_ID}'")
+  endif()
+  message(STATUS "bench_json_smoke: BENCH_SUMMARY.json valid (${summary_count} benches)")
+endif()

@@ -60,4 +60,30 @@ endif()
 # missing input file -> error exit.
 run_cli(1 missing_out span --in does_not_exist.lsi --eps 0.5)
 
+# trace: generate a churn trace (JSON and binary) from the instance.
+run_cli(0 trace_out trace --in tiny.lsi --model poisson --events 12 --seed 3 --out tiny_churn.json)
+if(NOT trace_out MATCHES "wrote tiny_churn\\.json: model=poisson, 12 events")
+  message(FATAL_ERROR "trace output shape mismatch:\n${trace_out}")
+endif()
+run_cli(0 trace_bin_out trace --in tiny.lsi --model failure --radius 1.0 --out tiny_churn.ctb)
+foreach(artifact tiny_churn.json tiny_churn.ctb)
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "trace did not create ${artifact}")
+  endif()
+endforeach()
+
+# dynamic: replay the trace with incremental repair; the independent final
+# audit must certify the spanner (exit 0).
+run_cli(0 dynamic_out dynamic --in tiny.lsi --trace tiny_churn.json --eps 0.5 --quiet
+        --out-json tiny_dynamic.json)
+if(NOT dynamic_out MATCHES "applied 12 events" OR NOT dynamic_out MATCHES "final audit: PASS")
+  message(FATAL_ERROR "dynamic output shape mismatch:\n${dynamic_out}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/tiny_dynamic.json")
+  message(FATAL_ERROR "dynamic did not create tiny_dynamic.json")
+endif()
+
+# unknown trace model -> error exit.
+run_cli(1 badmodel_out trace --in tiny.lsi --model bogus --out x.json)
+
 message(STATUS "cli_smoke: all checks passed")

@@ -7,11 +7,13 @@
 /// dimensions and deployment models with reproducible seeds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "dynamic/churn.hpp"
 #include "ubg/generator.hpp"
 
 namespace localspan::testinfra {
@@ -97,6 +99,80 @@ struct MatrixSpec {
 /// Name generator for INSTANTIATE_TEST_SUITE_P over Scenario params.
 struct ScenarioName {
   std::string operator()(const ::testing::TestParamInfo<Scenario>& info) const {
+    return info.param.name();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Churn scenarios: a base deployment plus a deterministic event trace, for
+// the dynamic-topology pipeline (dynamic/dynamic_spanner.hpp).
+// ---------------------------------------------------------------------------
+
+enum class ChurnModel { kPoisson, kWaypoint, kRegional };
+
+/// One dynamic-topology cell: fully determines (instance, trace).
+struct ChurnScenario {
+  Scenario base;
+  ChurnModel model = ChurnModel::kPoisson;
+  int events = 48;  ///< target event count (poisson exact; waypoint approximate).
+  std::uint64_t trace_seed = 1;
+
+  [[nodiscard]] std::string name() const {
+    const char* m = model == ChurnModel::kPoisson    ? "poisson"
+                    : model == ChurnModel::kWaypoint ? "waypoint"
+                                                     : "regional";
+    return base.name() + "_" + m + "_e" + std::to_string(events);
+  }
+
+  [[nodiscard]] dynamic::ChurnTrace make_trace(const ubg::UbgInstance& inst) const {
+    switch (model) {
+      case ChurnModel::kPoisson: {
+        dynamic::PoissonChurnConfig cfg;
+        cfg.events = events;
+        cfg.seed = trace_seed;
+        return dynamic::poisson_churn(inst, cfg);
+      }
+      case ChurnModel::kWaypoint: {
+        dynamic::WaypointConfig cfg;
+        cfg.movers = std::max(2, base.n / 24);
+        cfg.sample_dt = 0.25;
+        cfg.duration = cfg.sample_dt * events / cfg.movers;
+        cfg.seed = trace_seed;
+        return dynamic::random_waypoint(inst, cfg);
+      }
+      case ChurnModel::kRegional: {
+        dynamic::RegionalFailureConfig cfg;
+        cfg.radius = 1.25;
+        cfg.seed = trace_seed;
+        return dynamic::regional_failure(inst, cfg);
+      }
+    }
+    return {};
+  }
+};
+
+/// The standard churn matrix: three deployment cells crossed with the three
+/// event models (9 cells) — every model meets two dimensions and two
+/// placements while staying cheap enough for per-event invariant checking.
+[[nodiscard]] inline std::vector<ChurnScenario> churn_matrix() {
+  const std::vector<Scenario> bases{
+      Scenario{2, ubg::Placement::kUniform, 0.75, 96, 1},
+      Scenario{2, ubg::Placement::kClustered, 0.75, 96, 1},
+      Scenario{3, ubg::Placement::kUniform, 0.6, 64, 1},
+  };
+  std::vector<ChurnScenario> out;
+  for (const Scenario& base : bases) {
+    for (ChurnModel model :
+         {ChurnModel::kPoisson, ChurnModel::kWaypoint, ChurnModel::kRegional}) {
+      out.push_back(ChurnScenario{base, model, 48, 1});
+    }
+  }
+  return out;
+}
+
+/// Name generator for INSTANTIATE_TEST_SUITE_P over ChurnScenario params.
+struct ChurnScenarioName {
+  std::string operator()(const ::testing::TestParamInfo<ChurnScenario>& info) const {
     return info.param.name();
   }
 };

@@ -1,0 +1,337 @@
+// Tests for the dynamic topology engine: churn trace generators, the
+// incremental DynamicSpanner repair loop, and its invariant checker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/params.hpp"
+#include "core/verify.hpp"
+#include "dynamic/churn.hpp"
+#include "dynamic/dynamic_spanner.hpp"
+#include "graph/metrics.hpp"
+#include "scenario_matrix.hpp"
+#include "ubg/generator.hpp"
+
+namespace co = localspan::core;
+namespace dy = localspan::dynamic;
+namespace gr = localspan::graph;
+namespace ti = localspan::testinfra;
+namespace ub = localspan::ubg;
+
+namespace {
+
+ub::UbgInstance small_instance(int n = 64, double alpha = 0.75, std::uint64_t seed = 3) {
+  ub::UbgConfig cfg;
+  cfg.n = n;
+  cfg.alpha = alpha;
+  cfg.seed = seed;
+  return ub::make_ubg(cfg);
+}
+
+co::Params practical(const ub::UbgInstance& inst, double eps = 0.5) {
+  return co::Params::practical_params(eps, inst.config.alpha);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Trace generators.
+// ---------------------------------------------------------------------------
+
+TEST(ChurnGenerators, PoissonIsDeterministicAndValid) {
+  const ub::UbgInstance inst = small_instance();
+  dy::PoissonChurnConfig cfg;
+  cfg.events = 40;
+  cfg.seed = 11;
+  const dy::ChurnTrace a = dy::poisson_churn(inst, cfg);
+  const dy::ChurnTrace b = dy::poisson_churn(inst, cfg);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.events.size(), 40u);
+  EXPECT_EQ(dy::validate_trace(a, inst), "");
+  cfg.seed = 12;
+  EXPECT_FALSE(a == dy::poisson_churn(inst, cfg));
+}
+
+TEST(ChurnGenerators, PoissonReusesDepartedIds) {
+  const ub::UbgInstance inst = small_instance(16);
+  dy::PoissonChurnConfig cfg;
+  cfg.events = 200;
+  cfg.seed = 7;
+  const dy::ChurnTrace trace = dy::poisson_churn(inst, cfg);
+  EXPECT_EQ(dy::validate_trace(trace, inst), "");
+  int max_id = 0;
+  for (const dy::ChurnEvent& ev : trace.events) max_id = std::max(max_id, ev.node);
+  // Id compaction: with 50/50 churn on 16 nodes the live count stays modest,
+  // so id reuse must keep the slot space far below one-fresh-id-per-join.
+  EXPECT_LT(max_id, 16 + 100);
+}
+
+TEST(ChurnGenerators, WaypointMovesStayInBoxAndRespectSpeed) {
+  const ub::UbgInstance inst = small_instance();
+  dy::WaypointConfig cfg;
+  cfg.movers = 4;
+  cfg.speed = 0.3;
+  cfg.sample_dt = 0.5;
+  cfg.duration = 4.0;
+  cfg.seed = 5;
+  const dy::ChurnTrace trace = dy::random_waypoint(inst, cfg);
+  EXPECT_EQ(dy::validate_trace(trace, inst), "");
+  EXPECT_EQ(trace.events.size(), 4u * 8u);  // movers * (duration / dt)
+  std::map<int, localspan::geom::Point> last;
+  for (const dy::ChurnEvent& ev : trace.events) {
+    ASSERT_EQ(ev.kind, dy::EventKind::kMove);
+    for (int k = 0; k < trace.dim; ++k) {
+      EXPECT_GE(ev.pos[k], 0.0);
+      EXPECT_LE(ev.pos[k], trace.side);
+    }
+    const auto it = last.find(ev.node);
+    const localspan::geom::Point& from =
+        it != last.end() ? it->second : inst.points[static_cast<std::size_t>(ev.node)];
+    EXPECT_LE(localspan::geom::distance(from, ev.pos), cfg.speed * cfg.sample_dt + 1e-9);
+    last.insert_or_assign(ev.node, ev.pos);
+  }
+}
+
+TEST(ChurnGenerators, RegionalFailureLeavesThenRejoins) {
+  const ub::UbgInstance inst = small_instance(128);
+  dy::RegionalFailureConfig cfg;
+  cfg.radius = 1.5;
+  cfg.seed = 9;
+  const dy::ChurnTrace trace = dy::regional_failure(inst, cfg);
+  EXPECT_EQ(dy::validate_trace(trace, inst), "");
+  ASSERT_FALSE(trace.events.empty());
+  EXPECT_EQ(trace.events.size() % 2, 0u);  // every failed node rejoins
+  const std::size_t half = trace.events.size() / 2;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(trace.events[i].kind,
+              i < half ? dy::EventKind::kLeave : dy::EventKind::kJoin);
+  }
+  // Rejoin restores the original position.
+  for (std::size_t i = half; i < trace.events.size(); ++i) {
+    const dy::ChurnEvent& ev = trace.events[i];
+    EXPECT_EQ(ev.pos, inst.points[static_cast<std::size_t>(ev.node)]);
+  }
+}
+
+TEST(ChurnValidate, RejectsBadTraces) {
+  const ub::UbgInstance inst = small_instance(8);
+  dy::ChurnTrace trace{inst.config.dim, inst.config.alpha, inst.config.side, {}};
+  trace.events.push_back({1.0, dy::EventKind::kLeave, 0, localspan::geom::Point(2)});
+  trace.events.push_back({0.5, dy::EventKind::kJoin, 0, localspan::geom::Point(2)});
+  EXPECT_NE(dy::validate_trace(trace, inst), "");  // time decreases
+
+  trace.events.clear();
+  trace.events.push_back({0.5, dy::EventKind::kJoin, 1, localspan::geom::Point(2)});
+  EXPECT_NE(dy::validate_trace(trace, inst), "");  // join of a live node
+
+  trace.events.clear();
+  trace.events.push_back({0.5, dy::EventKind::kMove, 99, localspan::geom::Point(2)});
+  EXPECT_NE(dy::validate_trace(trace, inst), "");  // move of an unknown node
+
+  dy::ChurnTrace wrong_dim = trace;
+  wrong_dim.dim = 3;
+  wrong_dim.events.clear();
+  EXPECT_NE(dy::validate_trace(wrong_dim, inst), "");
+
+  dy::ChurnTrace wrong_side = trace;
+  wrong_side.events.clear();
+  wrong_side.side = inst.config.side * 2.0;
+  EXPECT_NE(dy::validate_trace(wrong_side, inst), "");  // mismatched box
+}
+
+// ---------------------------------------------------------------------------
+// DynamicSpanner event semantics.
+// ---------------------------------------------------------------------------
+
+TEST(DynamicSpanner, JoinLeaveMoveMaintainValidUbg) {
+  const ub::UbgInstance seed_inst = small_instance(48);
+  dy::DynamicSpanner engine(seed_inst, practical(seed_inst));
+  EXPECT_EQ(engine.active_count(), 48);
+
+  // Leave node 0: it must end up isolated and inactive.
+  auto st = engine.apply({0.1, dy::EventKind::kLeave, 0, localspan::geom::Point(2)});
+  EXPECT_EQ(st.kind, dy::EventKind::kLeave);
+  EXPECT_FALSE(engine.is_active(0));
+  EXPECT_EQ(engine.instance().g.degree(0), 0);
+  EXPECT_EQ(engine.active_count(), 47);
+  EXPECT_TRUE(ub::is_valid_ubg(engine.instance()));
+
+  // Rejoin at the center of the box: picks up neighbors again.
+  localspan::geom::Point center(2);
+  center[0] = engine.instance().config.side / 2.0;
+  center[1] = engine.instance().config.side / 2.0;
+  st = engine.apply({0.2, dy::EventKind::kJoin, 0, center});
+  EXPECT_TRUE(engine.is_active(0));
+  EXPECT_GT(st.ball_size, 0);
+  EXPECT_EQ(engine.active_count(), 48);
+  EXPECT_TRUE(ub::is_valid_ubg(engine.instance()));
+
+  // A join beyond the current capacity grows the slot space.
+  st = engine.apply({0.3, dy::EventKind::kJoin, 60, center});
+  EXPECT_EQ(engine.instance().g.n(), 61);
+  EXPECT_EQ(engine.active_count(), 49);
+  EXPECT_TRUE(engine.is_active(60));
+  EXPECT_FALSE(engine.is_active(55));  // intermediate slots stay dead
+  EXPECT_TRUE(ub::is_valid_ubg(engine.instance()));
+
+  // Move node 60 to a corner.
+  localspan::geom::Point corner(2);
+  st = engine.apply({0.4, dy::EventKind::kMove, 60, corner});
+  EXPECT_EQ(engine.instance().points[60], corner);
+  EXPECT_TRUE(ub::is_valid_ubg(engine.instance()));
+
+  // Spanner stayed a certified t-spanner throughout (final audit).
+  const co::VerificationReport rep =
+      co::verify_spanner(engine.instance(), engine.spanner(), engine.params().t);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(DynamicSpanner, RejectsInvalidEvents) {
+  const ub::UbgInstance seed_inst = small_instance(16);
+  dy::DynamicSpanner engine(seed_inst, practical(seed_inst));
+  const localspan::geom::Point p2(2);
+  // Join of a live node / leave of a dead one / move of a dead one.
+  EXPECT_THROW(engine.apply({0.0, dy::EventKind::kJoin, 3, p2}), std::invalid_argument);
+  EXPECT_THROW(engine.apply({0.0, dy::EventKind::kLeave, 99, p2}), std::invalid_argument);
+  EXPECT_THROW(engine.apply({0.0, dy::EventKind::kMove, 99, p2}), std::invalid_argument);
+  // Dimension mismatch and out-of-quadrant positions.
+  EXPECT_THROW(engine.apply({0.0, dy::EventKind::kJoin, 20, localspan::geom::Point(3)}),
+               std::invalid_argument);
+  localspan::geom::Point neg(2);
+  neg[0] = -1.0;
+  EXPECT_THROW(engine.apply({0.0, dy::EventKind::kMove, 3, neg}), std::invalid_argument);
+  // A failed event must not have mutated the topology.
+  EXPECT_EQ(engine.active_count(), 16);
+  EXPECT_TRUE(ub::is_valid_ubg(engine.instance()));
+}
+
+TEST(DynamicSpanner, TraceHeaderMismatchThrows) {
+  const ub::UbgInstance seed_inst = small_instance(16);
+  dy::DynamicSpanner engine(seed_inst, practical(seed_inst));
+  dy::ChurnTrace trace{3, seed_inst.config.alpha, seed_inst.config.side, {}};
+  EXPECT_THROW(engine.apply_all(trace), std::invalid_argument);
+  trace.dim = 2;
+  trace.alpha = 0.5;
+  EXPECT_THROW(engine.apply_all(trace), std::invalid_argument);
+}
+
+TEST(DynamicSpanner, FallbackPathTriggersOnImpossibleCaps) {
+  const ub::UbgInstance seed_inst = small_instance(48);
+  dy::DynamicOptions opts;
+  opts.caps.max_degree = 1;  // unsatisfiable: every repair flunks certification
+  dy::DynamicSpanner engine(seed_inst, practical(seed_inst), opts);
+  const dy::ChurnTrace trace = dy::poisson_churn(seed_inst, {8, 4.0, 0.5, 21});
+  bool fell_back = false;
+  for (const dy::RepairStats& st : engine.apply_all(trace)) {
+    if (st.check_ran) {
+      EXPECT_FALSE(st.check_passed);
+      EXPECT_TRUE(st.fell_back);
+      fell_back = true;
+    }
+  }
+  EXPECT_TRUE(fell_back);
+  // Even while flunking the artificial cap, stretch stays certified because
+  // every event fell back to the static pipeline.
+  const co::VerificationReport rep =
+      co::verify_spanner(engine.instance(), engine.spanner(), engine.params().t);
+  EXPECT_TRUE(rep.stretch_ok) << rep.summary();
+}
+
+TEST(DynamicSpanner, TinyBallOverrideStillEndsCertified) {
+  // Shrinking the dirty ball below the provable radius may break witnesses,
+  // but the checker + fallback must keep the standing spanner certified.
+  const ub::UbgInstance seed_inst = small_instance(64);
+  dy::DynamicOptions opts;
+  opts.ball_radius_override = 0.5;
+  dy::DynamicSpanner engine(seed_inst, practical(seed_inst), opts);
+  EXPECT_LT(engine.ball_radius(), engine.core_radius() + engine.params().t);
+  const dy::ChurnTrace trace = dy::poisson_churn(seed_inst, {24, 4.0, 0.5, 31});
+  engine.apply_all(trace);
+  const co::VerificationReport rep =
+      co::verify_spanner(engine.instance(), engine.spanner(), engine.params().t);
+  EXPECT_TRUE(rep.stretch_ok) << rep.summary();
+  EXPECT_TRUE(rep.is_subgraph) << rep.summary();
+  EXPECT_TRUE(rep.connectivity_ok) << rep.summary();
+}
+
+TEST(DynamicSpanner, BaselineFullRecomputeMatchesStaticPipeline) {
+  const ub::UbgInstance seed_inst = small_instance(48);
+  dy::DynamicOptions opts;
+  opts.always_full_recompute = true;
+  opts.check = dy::CheckLevel::kOff;
+  dy::DynamicSpanner engine(seed_inst, practical(seed_inst), opts);
+  const dy::ChurnTrace trace = dy::poisson_churn(seed_inst, {12, 4.0, 0.5, 17});
+  engine.apply_all(trace);
+  // The standing spanner must be exactly what the static pipeline computes
+  // on the final topology.
+  const gr::Graph fresh = co::relaxed_greedy(engine.instance(), engine.params()).spanner;
+  EXPECT_EQ(engine.spanner(), fresh);
+}
+
+TEST(DynamicSpanner, RadiiFollowTheLocalityBound) {
+  const ub::UbgInstance seed_inst = small_instance(32);
+  const co::Params params = practical(seed_inst);
+  dy::DynamicSpanner engine(seed_inst, params);
+  // wmax = 1 (identity transform): K = t+1, R = K + t.
+  EXPECT_NEAR(engine.core_radius(), params.t + 1.0, 1e-12);
+  EXPECT_NEAR(engine.ball_radius(), 2.0 * params.t + 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// The churn scenario matrix: incremental repair stays certified on every
+// trace, matching the full-recompute bound (stretch <= t).
+// ---------------------------------------------------------------------------
+
+class DynamicChurnMatrix : public ::testing::TestWithParam<ti::ChurnScenario> {};
+
+TEST_P(DynamicChurnMatrix, IncrementalRepairStaysCertified) {
+  const ti::ChurnScenario& sc = GetParam();
+  const ub::UbgInstance inst = sc.base.make();
+  const dy::ChurnTrace trace = sc.make_trace(inst);
+  ASSERT_EQ(dy::validate_trace(trace, inst), "");
+
+  const co::Params params = practical(inst);
+  dy::DynamicSpanner engine(inst, params);
+
+  int fallbacks = 0;
+  std::size_t applied = 0;
+  for (const dy::ChurnEvent& ev : trace.events) {
+    const dy::RepairStats st = engine.apply(ev);
+    if (st.fell_back) ++fallbacks;
+    ++applied;
+    // Periodic deep audit: model validity + certified stretch.
+    if (applied % 16 == 0) {
+      ASSERT_TRUE(ub::is_valid_ubg(engine.instance())) << "event " << applied;
+      const co::VerificationReport rep =
+          co::verify_spanner(engine.instance(), engine.spanner(), params.t);
+      ASSERT_TRUE(rep.stretch_ok) << "event " << applied << ": " << rep.summary();
+      ASSERT_TRUE(rep.is_subgraph && rep.weights_match && rep.connectivity_ok)
+          << "event " << applied << ": " << rep.summary();
+    }
+  }
+
+  // Final audit: the incremental spanner meets the same bound the
+  // full-recompute spanner is certified against.
+  const co::VerificationReport incremental =
+      co::verify_spanner(engine.instance(), engine.spanner(), params.t);
+  EXPECT_TRUE(incremental.stretch_ok) << incremental.summary();
+  EXPECT_TRUE(incremental.is_subgraph && incremental.weights_match &&
+              incremental.connectivity_ok)
+      << incremental.summary();
+
+  const gr::Graph full = co::relaxed_greedy(engine.instance(), params).spanner;
+  const co::VerificationReport recomputed =
+      co::verify_spanner(engine.instance(), full, params.t);
+  EXPECT_TRUE(recomputed.stretch_ok) << recomputed.summary();
+  EXPECT_LE(incremental.measured_stretch, params.t * (1.0 + 1e-9));
+  EXPECT_LE(recomputed.measured_stretch, params.t * (1.0 + 1e-9));
+
+  // With the provable radius the per-event checker should never have to
+  // bail out to a full recompute.
+  EXPECT_EQ(fallbacks, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Churn, DynamicChurnMatrix,
+                         ::testing::ValuesIn(localspan::testinfra::churn_matrix()),
+                         ti::ChurnScenarioName());

@@ -2,7 +2,9 @@
 // MSF, components, and the spanner metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <vector>
 
 #include "graph/components.hpp"
 #include "graph/dijkstra.hpp"
@@ -161,6 +163,58 @@ TEST(Dijkstra, DisconnectedIsInf) {
   gr::Graph g(3);
   g.add_edge(0, 1, 1.0);
   EXPECT_EQ(gr::sp_distance(g, 0, 2), gr::kInf);
+}
+
+TEST(Graph, AddVertexGrowsWithoutDisturbingEdges) {
+  gr::Graph g(2);
+  g.add_edge(0, 1, 0.5);
+  EXPECT_EQ(g.add_vertex(), 2);
+  EXPECT_EQ(g.add_vertex(), 3);
+  EXPECT_EQ(g.n(), 4);
+  EXPECT_EQ(g.m(), 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(2), 0);
+  g.add_edge(2, 3, 1.0);  // new slots are fully usable
+  EXPECT_EQ(g.m(), 2);
+}
+
+TEST(Dijkstra, MultiSourceBoundedTakesMinOverSources) {
+  const gr::Graph g = random_graph(60, 0.1, 13);
+  const auto fw = floyd_warshall(g);
+  const std::vector<int> sources{0, 5, 17};
+  const double radius = 1.2;
+  const gr::ShortestPaths sp = gr::dijkstra_multi_bounded(g, sources, radius);
+  for (int v = 0; v < g.n(); ++v) {
+    double truth = gr::kInf;
+    for (int s : sources) {
+      truth = std::min(truth, fw[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)]);
+    }
+    if (truth <= radius) {
+      EXPECT_NEAR(sp.dist[static_cast<std::size_t>(v)], truth, 1e-9) << v;
+    } else {
+      EXPECT_EQ(sp.dist[static_cast<std::size_t>(v)], gr::kInf) << v;
+    }
+  }
+  // Duplicate sources are legal; bad ones and negative radii are not.
+  const std::vector<int> dup{0, 0};
+  EXPECT_EQ(gr::dijkstra_multi_bounded(g, dup, 1.0).dist[0], 0.0);
+  const std::vector<int> bad{-1};
+  EXPECT_THROW(static_cast<void>(gr::dijkstra_multi_bounded(g, bad, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(gr::dijkstra_multi_bounded(g, sources, -1.0)),
+               std::invalid_argument);
+}
+
+TEST(Dijkstra, MultiSourceHonorsWeightTransform) {
+  gr::Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const std::vector<int> src{0};
+  // Squared weights: dist(0,2) = 4 + 9 = 13.
+  const gr::ShortestPaths sp =
+      gr::dijkstra_multi_bounded(g, src, 100.0, [](double w) { return w * w; });
+  EXPECT_DOUBLE_EQ(sp.dist[1], 4.0);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 13.0);
 }
 
 TEST(Dijkstra, ParentsFormShortestTree) {

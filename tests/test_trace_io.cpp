@@ -1,0 +1,115 @@
+// Tests for churn-trace serialization: JSON and binary round trips, format
+// sniffing, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "dynamic/churn.hpp"
+#include "io/trace_io.hpp"
+#include "ubg/generator.hpp"
+
+namespace dy = localspan::dynamic;
+namespace io = localspan::io;
+namespace ub = localspan::ubg;
+
+namespace {
+
+dy::ChurnTrace sample_trace(int dim = 2, int events = 32, std::uint64_t seed = 5) {
+  ub::UbgConfig cfg;
+  cfg.n = 48;
+  cfg.dim = dim;
+  cfg.alpha = 0.75;
+  cfg.seed = seed;
+  const ub::UbgInstance inst = ub::make_ubg(cfg);
+  dy::PoissonChurnConfig pc;
+  pc.events = events;
+  pc.seed = seed;
+  return dy::poisson_churn(inst, pc);
+}
+
+}  // namespace
+
+TEST(TraceJson, RoundTripIsExact) {
+  for (int dim : {2, 3}) {
+    const dy::ChurnTrace trace = sample_trace(dim);
+    std::stringstream ss;
+    io::write_trace_json(ss, trace);
+    const dy::ChurnTrace back = io::read_trace_json(ss);
+    EXPECT_EQ(back, trace) << "dim=" << dim;  // bitwise doubles via %.17g
+  }
+}
+
+TEST(TraceJson, EmptyTraceRoundTrips) {
+  dy::ChurnTrace trace{2, 0.6, 4.5, {}};
+  std::stringstream ss;
+  io::write_trace_json(ss, trace);
+  EXPECT_EQ(io::read_trace_json(ss), trace);
+}
+
+TEST(TraceJson, RejectsGarbage) {
+  const auto reject = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(static_cast<void>(io::read_trace_json(ss)), std::runtime_error) << text;
+  };
+  reject("");
+  reject("not json at all");
+  reject("[1, 2, 3]");                                  // wrong top-level type
+  reject("{\"format\": \"other\", \"version\": 1}");    // wrong format tag
+  reject(R"({"format": "localspan-churn-trace", "version": 99})");  // bad version
+  reject(R"({"format": "localspan-churn-trace", "version": 1, "dim": 2,
+             "alpha": 0.75, "side": 5.0, "events": [{"t": 0, "kind": "warp",
+             "node": 1, "pos": [0, 0]}]})");            // unknown kind
+  reject(R"({"format": "localspan-churn-trace", "version": 1, "dim": 2,
+             "alpha": 0.75, "side": 5.0, "events": [{"t": 0, "kind": "join",
+             "node": 1, "pos": [0.5]}]})");             // pos arity mismatch
+  reject(R"({"format": "localspan-churn-trace", "version": 1, "dim": 2,
+             "alpha": 0.75, "side": 5.0, "events": []} trailing)");
+  // Number forms strtod would take but RFC 8259 forbids.
+  for (const char* bad : {"0x10", "+1.5", ".5", "1.", "01", "1e", "nan", "inf"}) {
+    reject(std::string(R"({"format": "localspan-churn-trace", "version": 1, "dim": 2,
+             "alpha": 0.75, "side": )") +
+           bad + ", \"events\": []}");
+  }
+}
+
+TEST(TraceBinary, RoundTripIsExact) {
+  for (int dim : {2, 3}) {
+    const dy::ChurnTrace trace = sample_trace(dim, 64);
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    io::write_trace_binary(ss, trace);
+    EXPECT_EQ(io::read_trace_binary(ss), trace) << "dim=" << dim;
+  }
+}
+
+TEST(TraceBinary, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("LSINSTANCE####");
+  EXPECT_THROW(static_cast<void>(io::read_trace_binary(bad)), std::runtime_error);
+
+  const dy::ChurnTrace trace = sample_trace();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_trace_binary(ss, trace);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(static_cast<void>(io::read_trace_binary(truncated)), std::runtime_error);
+}
+
+TEST(TraceFiles, ExtensionPicksFormatAndLoadSniffs) {
+  const dy::ChurnTrace trace = sample_trace();
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string json_path = (dir / "localspan_trace_test.json").string();
+  const std::string bin_path = (dir / "localspan_trace_test.ctb").string();
+
+  io::save_trace(json_path, trace);
+  io::save_trace(bin_path, trace);
+
+  // Binary artifact is the compact one; JSON is readable text.
+  EXPECT_LT(std::filesystem::file_size(bin_path), std::filesystem::file_size(json_path));
+  EXPECT_EQ(io::load_trace(json_path), trace);
+  EXPECT_EQ(io::load_trace(bin_path), trace);
+
+  std::remove(json_path.c_str());
+  std::remove(bin_path.c_str());
+  EXPECT_THROW(static_cast<void>(io::load_trace("/nonexistent/trace.json")), std::runtime_error);
+}

@@ -1,0 +1,75 @@
+# Aggregate all BENCH_<id>.json artifacts in a directory into one
+# BENCH_SUMMARY.json, validating each artifact's schema on the way:
+#
+#   cmake -DDIR=<dir> [-DOUT=<file>] -P tools/collect_bench.cmake
+#
+# Output shape (consumed by perf-trajectory tooling and CI uploads):
+#
+#   { "schema_version": 1, "count": N,
+#     "benches": [ <BENCH_E1.json payload>, ... ] }   # sorted by filename
+#
+# Fails hard on malformed artifacts — aggregation doubles as validation.
+
+if(NOT DEFINED DIR)
+  message(FATAL_ERROR "usage: cmake -DDIR=<dir> [-DOUT=<file>] -P collect_bench.cmake")
+endif()
+if(NOT IS_DIRECTORY "${DIR}")
+  message(FATAL_ERROR "collect_bench: '${DIR}' is not a directory")
+endif()
+if(NOT DEFINED OUT)
+  set(OUT "${DIR}/BENCH_SUMMARY.json")
+endif()
+
+file(GLOB artifacts "${DIR}/BENCH_*.json")
+list(SORT artifacts)
+# The summary itself (and google-benchmark native output, which has its own
+# schema) are not aggregation inputs.
+list(FILTER artifacts EXCLUDE REGEX "BENCH_SUMMARY\\.json$")
+
+set(payloads "")
+set(count 0)
+set(ids "")
+foreach(artifact IN LISTS artifacts)
+  file(READ "${artifact}" payload)
+  # Foreign-schema artifacts (bench_e12_runtime emits google-benchmark's
+  # native JSON under the shared naming convention) have no "bench" field:
+  # skip them rather than fail, so a full-sweep directory still aggregates.
+  string(JSON id ERROR_VARIABLE id_err GET "${payload}" "bench")
+  if(NOT id_err STREQUAL "NOTFOUND")
+    message(STATUS "collect_bench: skipping ${artifact} (not a localspan artifact: ${id_err})")
+    continue()
+  endif()
+  # For localspan-schema artifacts, aggregation doubles as validation: a
+  # half-written artifact must not slip into the summary.
+  string(JSON schema_version GET "${payload}" "schema_version")
+  if(NOT schema_version EQUAL 1)
+    message(FATAL_ERROR "collect_bench: ${artifact} has schema_version '${schema_version}'")
+  endif()
+  string(JSON n_tables LENGTH "${payload}" "tables")
+  if(n_tables LESS 1)
+    message(FATAL_ERROR "collect_bench: ${artifact} has no tables")
+  endif()
+  string(STRIP "${payload}" payload)
+  if(count GREATER 0)
+    string(APPEND payloads ",\n")
+  endif()
+  string(APPEND payloads "${payload}")
+  math(EXPR count "${count} + 1")
+  list(APPEND ids "${id}")
+endforeach()
+
+if(count EQUAL 0)
+  message(FATAL_ERROR "collect_bench: no BENCH_*.json artifacts in ${DIR}")
+endif()
+
+file(WRITE "${OUT}" "{\n\"schema_version\": 1,\n\"count\": ${count},\n\"benches\": [\n${payloads}\n]\n}\n")
+
+# Self-check: the summary must itself parse, with count entries.
+file(READ "${OUT}" summary)
+string(JSON n_benches LENGTH "${summary}" "benches")
+if(NOT n_benches EQUAL count)
+  message(FATAL_ERROR "collect_bench: summary self-check failed (${n_benches} != ${count})")
+endif()
+
+list(JOIN ids ", " id_list)
+message(STATUS "collect_bench: wrote ${OUT} (${count} benches: ${id_list})")

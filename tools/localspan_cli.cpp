@@ -1,23 +1,31 @@
-/// localspan command-line tool: generate, span, verify, export.
+/// localspan command-line tool: generate, span, verify, export, churn.
 ///
 ///   localspan_cli gen  --n 512 --alpha 0.75 --dim 2 --seed 7 --out net.lsi
 ///   localspan_cli span --in net.lsi --eps 0.5 [--strict] [--distributed]
 ///                      [--out-dot spanner.dot] [--out-csv spanner.csv]
 ///   localspan_cli verify --in net.lsi --eps 0.5
 ///   localspan_cli route --in net.lsi --eps 0.5 --trials 200
+///   localspan_cli trace --in net.lsi --model poisson --events 64 --out churn.json
+///   localspan_cli dynamic --in net.lsi --trace churn.json --eps 0.5
 ///
 /// Exit code 0 on success / verification pass, 1 otherwise.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/distributed.hpp"
 #include "core/relaxed_greedy.hpp"
 #include "core/verify.hpp"
+#include "dynamic/churn.hpp"
+#include "dynamic/dynamic_spanner.hpp"
 #include "graph/metrics.hpp"
 #include "io/serialize.hpp"
+#include "io/trace_io.hpp"
 #include "route/routing.hpp"
 #include "ubg/generator.hpp"
 
@@ -61,13 +69,19 @@ class Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: localspan_cli <gen|span|verify|route> [--flags]\n"
-               "  gen    --n N --alpha A --dim D --seed S [--placement uniform|clustered|corridor]\n"
-               "         [--policy always|never|prob|threshold] [--p P] --out FILE\n"
-               "  span   --in FILE --eps E [--strict] [--distributed] [--seed S]\n"
-               "         [--out-dot FILE] [--out-csv FILE]\n"
-               "  verify --in FILE --eps E [--strict]\n"
-               "  route  --in FILE --eps E [--trials T] [--seed S]\n");
+               "usage: localspan_cli <gen|span|verify|route|trace|dynamic> [--flags]\n"
+               "  gen     --n N --alpha A --dim D --seed S [--placement uniform|clustered|corridor]\n"
+               "          [--policy always|never|prob|threshold] [--p P] --out FILE\n"
+               "  span    --in FILE --eps E [--strict] [--distributed] [--seed S]\n"
+               "          [--out-dot FILE] [--out-csv FILE]\n"
+               "  verify  --in FILE --eps E [--strict]\n"
+               "  route   --in FILE --eps E [--trials T] [--seed S]\n"
+               "  trace   --in FILE --model poisson|waypoint|failure --out FILE[.ctb]\n"
+               "          [--seed S] [--events K] [--rate R] [--join-frac F]     (poisson)\n"
+               "          [--movers M] [--speed V] [--dt T] [--duration T]      (waypoint)\n"
+               "          [--radius R] [--fail-time T] [--no-rejoin]            (failure)\n"
+               "  dynamic --in FILE --trace FILE --eps E [--strict] [--check off|local|full]\n"
+               "          [--baseline-full] [--quiet] [--out-json FILE]\n");
   return 1;
 }
 
@@ -169,6 +183,142 @@ int cmd_route(const Args& args) {
   return 0;
 }
 
+int cmd_trace(const Args& args) {
+  const ubg::UbgInstance inst = load(args);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string model = args.get("model", "poisson");
+  dynamic::ChurnTrace trace;
+  if (model == "poisson") {
+    dynamic::PoissonChurnConfig cfg;
+    cfg.events = args.get_int("events", 64);
+    cfg.rate = args.get_double("rate", 4.0);
+    cfg.join_fraction = args.get_double("join-frac", 0.5);
+    cfg.seed = seed;
+    trace = dynamic::poisson_churn(inst, cfg);
+  } else if (model == "waypoint") {
+    dynamic::WaypointConfig cfg;
+    cfg.movers = args.get_int("movers", 8);
+    cfg.speed = args.get_double("speed", 0.25);
+    cfg.sample_dt = args.get_double("dt", 0.25);
+    cfg.duration = args.get_double("duration", 8.0);
+    cfg.seed = seed;
+    trace = dynamic::random_waypoint(inst, cfg);
+  } else if (model == "failure") {
+    dynamic::RegionalFailureConfig cfg;
+    cfg.radius = args.get_double("radius", 1.5);
+    cfg.fail_time = args.get_double("fail-time", 1.0);
+    cfg.rejoin = !args.has("no-rejoin");
+    cfg.rejoin_time = args.get_double("rejoin-time", 2.0 * cfg.fail_time);
+    cfg.seed = seed;
+    trace = dynamic::regional_failure(inst, cfg);
+  } else {
+    std::fprintf(stderr, "trace: unknown model '%s'\n", model.c_str());
+    return 1;
+  }
+  const std::string check = dynamic::validate_trace(trace, inst);
+  if (!check.empty()) {
+    std::fprintf(stderr, "trace: generated trace failed validation: %s\n", check.c_str());
+    return 1;
+  }
+  const std::string out = args.get("out", "churn.json");
+  io::save_trace(out, trace);
+  int joins = 0;
+  int leaves = 0;
+  int moves = 0;
+  for (const dynamic::ChurnEvent& ev : trace.events) {
+    if (ev.kind == dynamic::EventKind::kJoin) ++joins;
+    else if (ev.kind == dynamic::EventKind::kLeave) ++leaves;
+    else ++moves;
+  }
+  std::printf("wrote %s: model=%s, %zu events (%d joins, %d leaves, %d moves)\n", out.c_str(),
+              model.c_str(), trace.events.size(), joins, leaves, moves);
+  return 0;
+}
+
+int cmd_dynamic(const Args& args) {
+  ubg::UbgInstance inst = load(args);
+  const std::string trace_path = args.get("trace", "");
+  if (trace_path.empty()) throw std::runtime_error("missing --trace FILE");
+  const dynamic::ChurnTrace trace = io::load_trace(trace_path);
+  const std::string invalid = dynamic::validate_trace(trace, inst);
+  if (!invalid.empty()) {
+    std::fprintf(stderr, "dynamic: invalid trace: %s\n", invalid.c_str());
+    return 1;
+  }
+
+  const double eps = args.get_double("eps", 0.5);
+  const double alpha = inst.config.alpha;
+  const core::Params params = args.has("strict") ? core::Params::strict_params(eps, alpha)
+                                                 : core::Params::practical_params(eps, alpha);
+  dynamic::DynamicOptions opts;
+  const std::string check = args.get("check", "local");
+  if (check == "off") opts.check = dynamic::CheckLevel::kOff;
+  else if (check == "full") opts.check = dynamic::CheckLevel::kFull;
+  else if (check == "local") opts.check = dynamic::CheckLevel::kLocal;
+  else throw std::runtime_error("dynamic: --check must be off|local|full");
+  opts.always_full_recompute = args.has("baseline-full");
+  const bool quiet = args.has("quiet");
+
+  dynamic::DynamicSpanner engine(std::move(inst), params, opts);
+  std::printf("initial: n=%d live, %d UBG edges, %d spanner edges (%s repair, check=%s)\n",
+              engine.active_count(), engine.instance().g.m(), engine.spanner().m(),
+              opts.always_full_recompute ? "full-recompute" : "incremental", check.c_str());
+
+  std::vector<dynamic::RepairStats> stats;
+  stats.reserve(trace.events.size());
+  double total_seconds = 0.0;
+  long long balls = 0;
+  int fallbacks = 0;
+  for (const dynamic::ChurnEvent& ev : trace.events) {
+    const dynamic::RepairStats st = engine.apply(ev);
+    total_seconds += st.seconds;
+    balls += st.ball_size;
+    if (st.fell_back) ++fallbacks;
+    if (!quiet) {
+      std::printf("t=%-8.3f %-5s node=%-5d |ball|=%-5d +%d/-%d edges  %.2f ms%s\n", st.time,
+                  dynamic::to_string(st.kind), st.node, st.ball_size, st.spanner_edges_added,
+                  st.spanner_edges_removed, 1e3 * st.seconds,
+                  st.fell_back ? "  [fallback]" : (st.check_passed ? "" : "  [CHECK FAILED]"));
+    }
+    stats.push_back(st);
+  }
+
+  const std::size_t count = std::max<std::size_t>(1, stats.size());
+  std::printf(
+      "\napplied %zu events in %.3f s (%.1f events/s, mean ball %.1f nodes, %d fallbacks)\n",
+      stats.size(), total_seconds, static_cast<double>(stats.size()) / std::max(total_seconds, 1e-12),
+      static_cast<double>(balls) / static_cast<double>(count), fallbacks);
+  std::printf("final: n=%d live, %d UBG edges, %d spanner edges\n", engine.active_count(),
+              engine.instance().g.m(), engine.spanner().m());
+
+  const std::string out_json = args.get("out-json", "");
+  if (!out_json.empty()) {
+    std::ofstream os(out_json);
+    if (!os) throw std::runtime_error("dynamic: cannot open " + out_json);
+    os << "{\n  \"events\": [";
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      const dynamic::RepairStats& st = stats[i];
+      os << (i ? ",\n    " : "\n    ");
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "{\"t\": %.6f, \"kind\": \"%s\", \"node\": %d, \"ball\": %d, \"added\": %d, "
+                    "\"removed\": %d, \"fell_back\": %s, \"seconds\": %.6f}",
+                    st.time, dynamic::to_string(st.kind), st.node, st.ball_size,
+                    st.spanner_edges_added, st.spanner_edges_removed,
+                    st.fell_back ? "true" : "false", st.seconds);
+      os << row;
+    }
+    os << (stats.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    std::printf("wrote %s\n", out_json.c_str());
+  }
+
+  // Final audit, independent of the per-event checks.
+  const core::VerificationReport rep =
+      core::verify_spanner(engine.instance(), engine.spanner(), params.t);
+  std::printf("final audit: %s\n", rep.summary().c_str());
+  return rep.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,6 +330,8 @@ int main(int argc, char** argv) {
     if (cmd == "span") return cmd_span(args);
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "route") return cmd_route(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "dynamic") return cmd_dynamic(args);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
     return 1;
