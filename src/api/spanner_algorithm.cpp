@@ -1,0 +1,320 @@
+#include "api/spanner_algorithm.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "geom/grid.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+
+namespace localspan::api {
+
+namespace {
+
+/// Verification tolerance shared with the dynamic certifier: measured
+/// quantities are sums of O(1/wmin) doubles re-derived independently.
+constexpr double kSlack = 1.0 + 1e-9;
+
+[[nodiscard]] std::string join_keys(const std::vector<OptionSpec>& schema) {
+  if (schema.empty()) return "(none)";
+  std::string out;
+  for (const OptionSpec& spec : schema) {
+    if (!out.empty()) out += ", ";
+    out += spec.key;
+  }
+  return out;
+}
+
+}  // namespace
+
+int parse_int(const std::string& what, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    throw std::invalid_argument(what + ": expected an integer, got '" + value + "'");
+  }
+  if (errno == ERANGE || v < INT_MIN || v > INT_MAX) {
+    throw std::invalid_argument(what + ": integer out of range: '" + value + "'");
+  }
+  return static_cast<int>(v);
+}
+
+double parse_double(const std::string& what, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    throw std::invalid_argument(what + ": expected a number, got '" + value + "'");
+  }
+  if (errno == ERANGE && std::abs(v) == HUGE_VAL) {
+    throw std::invalid_argument(what + ": number out of range: '" + value + "'");
+  }
+  return v;
+}
+
+const char* to_string(OptionType t) noexcept {
+  switch (t) {
+    case OptionType::kInt: return "int";
+    case OptionType::kDouble: return "double";
+    case OptionType::kBool: return "bool";
+    case OptionType::kString: return "string";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+Options Options::parse(const std::vector<std::string>& kv_items) {
+  Options out;
+  for (const std::string& item : kv_items) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("option '" + item + "' is not of the form key=value");
+    }
+    const std::string key = item.substr(0, eq);
+    if (out.has(key)) {
+      throw std::invalid_argument("option '" + key + "' given more than once");
+    }
+    out.set(key, item.substr(eq + 1));
+  }
+  return out;
+}
+
+void Options::set(const std::string& key, const std::string& value) {
+  if (key.empty()) throw std::invalid_argument("Options: empty option key");
+  values_[key] = value;
+}
+
+bool Options::has(const std::string& key) const { return values_.contains(key); }
+
+int Options::get_int(const std::string& key, int dflt) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : parse_int("option " + key, it->second);
+}
+
+double Options::get_double(const std::string& key, double dflt) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : parse_double("option " + key, it->second);
+}
+
+bool Options::get_bool(const std::string& key, bool dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("option " + key + ": expected a boolean (true/false), got '" + v +
+                              "'");
+}
+
+std::string Options::get_string(const std::string& key, const std::string& dflt) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : it->second;
+}
+
+void Options::validate_against(const std::vector<OptionSpec>& schema,
+                               const std::string& algo) const {
+  for (const auto& [key, value] : values_) {
+    const auto spec = std::find_if(schema.begin(), schema.end(),
+                                   [&](const OptionSpec& s) { return s.key == key; });
+    if (spec == schema.end()) {
+      throw std::invalid_argument("algorithm '" + algo + "' does not accept option '" + key +
+                                  "' (known options: " + join_keys(schema) + ")");
+    }
+    // Type-check by round-tripping through the typed accessor.
+    switch (spec->type) {
+      case OptionType::kInt: static_cast<void>(get_int(key, 0)); break;
+      case OptionType::kDouble: static_cast<void>(get_double(key, 0.0)); break;
+      case OptionType::kBool: static_cast<void>(get_bool(key, false)); break;
+      case OptionType::kString: break;
+    }
+    static_cast<void>(value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Guarantees
+// ---------------------------------------------------------------------------
+
+std::string Guarantees::describe() const {
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += ' ';
+    out += part;
+  };
+  if (subgraph) append("subgraph");
+  if (stretch > 0.0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "stretch<=%.2f", stretch);
+    append(buf);
+  }
+  if (max_degree > 0) append("deg<=" + std::to_string(max_degree));
+  if (lightness > 0.0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "light<=%.0f", lightness);
+    append(buf);
+  }
+  if (connectivity) append("conn");
+  return out.empty() ? "-" : out;
+}
+
+// ---------------------------------------------------------------------------
+// AlgorithmRegistry
+// ---------------------------------------------------------------------------
+
+void AlgorithmRegistry::add(std::unique_ptr<SpannerAlgorithm> algo) {
+  if (!algo) throw std::invalid_argument("AlgorithmRegistry: null algorithm");
+  const std::string name = algo->info().name;
+  if (name.empty()) throw std::invalid_argument("AlgorithmRegistry: empty algorithm name");
+  if (algos_.contains(name)) {
+    throw std::invalid_argument("AlgorithmRegistry: duplicate algorithm '" + name + "'");
+  }
+  algos_[name] = std::move(algo);
+}
+
+bool AlgorithmRegistry::contains(const std::string& name) const { return algos_.contains(name); }
+
+const SpannerAlgorithm& AlgorithmRegistry::at(const std::string& name) const {
+  auto it = algos_.find(name);
+  if (it == algos_.end()) {
+    std::string known;
+    for (const auto& [key, value] : algos_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+      static_cast<void>(value);
+    }
+    throw std::invalid_argument("unknown algorithm '" + name + "' (available: " + known + ")");
+  }
+  return *it->second;
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(algos_.size());
+  for (const auto& [key, value] : algos_) {
+    out.push_back(key);
+    static_cast<void>(value);
+  }
+  return out;  // std::map iteration order is already sorted.
+}
+
+BuildResult AlgorithmRegistry::build(const std::string& name, const BuildRequest& req,
+                                     bool measure) const {
+  const SpannerAlgorithm& algo = at(name);
+  const AlgorithmInfo& info = algo.info();
+  req.options.validate_against(info.options, info.name);
+  if (info.caps.dim2_only && req.inst.config.dim != 2) {
+    throw std::invalid_argument("algorithm '" + name + "' is defined for dim == 2 only (instance has dim " +
+                                std::to_string(req.inst.config.dim) + ")");
+  }
+  if (info.caps.uses_params) req.params.validate();
+
+  // Declaration and the metric reference are request-derived measurement
+  // inputs — both stay outside the timed window.
+  const Guarantees guarantees = algo.guarantees(req);
+  std::optional<graph::Graph> metric_reference = algo.metric_reference(req);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Construction c = algo.construct(req);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  BuildResult res{std::move(c.spanner), seconds,       {},
+                  guarantees,           std::move(c.phases), std::move(metric_reference)};
+  const graph::Graph& ref = res.metric_reference ? *res.metric_reference : req.inst.g;
+  res.metrics.edges = res.spanner.m();
+  res.metrics.edges_per_node =
+      res.spanner.n() > 0 ? static_cast<double>(res.spanner.m()) / res.spanner.n() : 0.0;
+  res.metrics.max_degree = res.spanner.max_degree();
+  if (measure) {
+    res.metrics.stretch = graph::max_edge_stretch(ref, res.spanner);
+    res.metrics.lightness = graph::lightness(ref, res.spanner);
+    const double ref_power = graph::power_cost(ref);
+    res.metrics.power_ratio = ref_power > 0.0 ? graph::power_cost(res.spanner) / ref_power : 0.0;
+  }
+  return res;
+}
+
+const AlgorithmRegistry& registry() {
+  // Intentionally leaked: built once, immutable afterwards, alive for the
+  // whole process (no destruction-order hazards for static consumers).
+  static const AlgorithmRegistry* reg = [] {
+    auto* r = new AlgorithmRegistry();
+    register_builtin_algorithms(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+// ---------------------------------------------------------------------------
+// Guarantee checking (shared by tests and the CLI)
+// ---------------------------------------------------------------------------
+
+std::string check_guarantees(const ubg::UbgInstance& inst, const BuildResult& result) {
+  const Guarantees& g = result.guarantees;
+  char buf[160];
+  if (g.subgraph) {
+    for (const graph::Edge& e : result.spanner.edges()) {
+      if (!inst.g.has_edge(e.u, e.v)) {
+        std::snprintf(buf, sizeof(buf), "declared subgraph, but edge {%d,%d} is not in G", e.u,
+                      e.v);
+        return buf;
+      }
+    }
+  }
+  if (g.connectivity) {
+    const int want = graph::connected_components(inst.g).count;
+    const int got = graph::connected_components(result.spanner).count;
+    if (want != got) {
+      std::snprintf(buf, sizeof(buf),
+                    "declared connectivity, but components differ (G: %d, output: %d)", want, got);
+      return buf;
+    }
+  }
+  if (g.stretch > 0.0 && result.metrics.stretch > g.stretch * kSlack) {
+    std::snprintf(buf, sizeof(buf), "declared stretch <= %.4f, measured %.4f", g.stretch,
+                  result.metrics.stretch);
+    return buf;
+  }
+  if (g.max_degree > 0 && result.metrics.max_degree > g.max_degree) {
+    std::snprintf(buf, sizeof(buf), "declared max degree <= %d, measured %d", g.max_degree,
+                  result.metrics.max_degree);
+    return buf;
+  }
+  if (g.lightness > 0.0 && result.metrics.lightness > g.lightness * kSlack) {
+    std::snprintf(buf, sizeof(buf), "declared lightness <= %.2f, measured %.4f", g.lightness,
+                  result.metrics.lightness);
+    return buf;
+  }
+  return {};
+}
+
+bool gray_zone_closed(const ubg::UbgInstance& inst) {
+  if (inst.g.n() == 0) return true;
+  // Every pair at distance <= 1 must be an edge; count pairs via the spatial
+  // grid (near-linear for the evaluation densities) and compare against m.
+  const geom::Grid grid(inst.points, 1.0);
+  int pairs = 0;
+  for (int i = 0; i < inst.g.n(); ++i) {
+    bool missing = false;
+    grid.for_neighbors_within(i, 1.0, [&](int j) {
+      if (i < j) {
+        ++pairs;
+        if (!inst.g.has_edge(i, j)) missing = true;
+      }
+    });
+    if (missing) return false;
+  }
+  return pairs == inst.g.m();
+}
+
+}  // namespace localspan::api

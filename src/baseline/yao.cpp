@@ -19,6 +19,14 @@ graph::Graph yao_graph(const ubg::UbgInstance& inst, int k) {
     std::vector<int> best(static_cast<std::size_t>(k), -1);
     std::vector<double> best_d(static_cast<std::size_t>(k), 0.0);
     for (const graph::Neighbor& nb : inst.g.neighbors(u)) {
+      // A coincident neighbor has no direction: keep the edge outright (it
+      // is trivially the nearest in "its" cone; clustered deployments clamp
+      // points to the box and can collide exactly).
+      if (geom::sq_distance(inst.points[static_cast<std::size_t>(u)],
+                            inst.points[static_cast<std::size_t>(nb.to)]) == 0.0) {
+        out.add_edge(u, nb.to, nb.w);
+        continue;
+      }
       const int s = cones.sector_of(inst.points[static_cast<std::size_t>(u)],
                                     inst.points[static_cast<std::size_t>(nb.to)]);
       const auto si = static_cast<std::size_t>(s);
@@ -47,6 +55,10 @@ graph::Graph theta_graph(const ubg::UbgInstance& inst, int k) {
     const auto& pu = inst.points[static_cast<std::size_t>(u)];
     for (const graph::Neighbor& nb : inst.g.neighbors(u)) {
       const auto& pv = inst.points[static_cast<std::size_t>(nb.to)];
+      if (geom::sq_distance(pu, pv) == 0.0) {  // no direction: keep outright
+        out.add_edge(u, nb.to, nb.w);
+        continue;
+      }
       const int s = cones.sector_of(pu, pv);
       // Projection of u->v onto the sector bisector direction.
       const double bisector = (s + 0.5) * sector;

@@ -20,6 +20,47 @@ void check_inputs(double eps, double alpha) {
 /// (1+6δ)/(1−2δ) + 4δ < t so that a t1 with (1+6δ)/(1−2δ) < t1 <= t−4δ exists.
 double joint_constraint(double delta) { return (1.0 + 6.0 * delta) / (1.0 - 2.0 * delta) + 4.0 * delta; }
 
+/// One theorem precondition: the predicate's value plus the name reported
+/// when it fails. satisfies_*_conditions() and violated_conditions() both
+/// evaluate these tables, so the inequalities exist in exactly one place.
+struct Condition {
+  bool ok;
+  const char* name;
+};
+
+/// Stretch side: Theorem 10 and the Lemma 3 covered-edge precondition.
+std::vector<Condition> stretch_conditions(const Params& p) {
+  return {
+      {p.t > 1.0, "t > 1 (Theorem 10)"},
+      {p.t1 > 1.0, "t1 > 1 (Theorem 10)"},
+      {p.t1 < p.t, "t1 < t (Theorem 10)"},
+      {p.delta > 0.0, "delta > 0 (Theorem 10)"},
+      {p.delta <= (p.t - p.t1) / 4.0, "delta <= (t - t1)/4 (Theorem 10)"},
+      {geom::theta_valid_for_stretch(p.theta, p.t),
+       "0 < theta < pi/4 and cos(theta) - sin(theta) >= 1/t (Lemma 3)"},
+      {p.alpha > 0.0 && p.alpha <= 1.0, "alpha in (0, 1]"},
+      {p.r > 1.0, "r > 1 (geometric bin ratio)"},
+  };
+}
+
+/// Weight side: Theorem 13.
+std::vector<Condition> weight_conditions(const Params& p) {
+  const double d_cap = std::min((p.t - 1.0) / (6.0 + 2.0 * p.t), (p.t - p.t1) / 4.0);
+  const double td = p.t1 * (1.0 - 2.0 * p.delta) / (1.0 + 6.0 * p.delta);
+  return {
+      {p.delta < d_cap, "delta < min{(t-1)/(6+2t), (t-t1)/4} (Theorem 13 ceiling)"},
+      {td > 1.0, "t_delta = t1(1-2*delta)/(1+6*delta) > 1 (Theorem 13)"},
+      {p.r < (td + 1.0) / 2.0, "r < (t_delta + 1)/2 (Theorem 13)"},
+  };
+}
+
+bool all_ok(const std::vector<Condition>& conditions) {
+  for (const Condition& c : conditions) {
+    if (!c.ok) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Params Params::strict_params(double eps, double alpha) {
@@ -67,27 +108,34 @@ Params Params::practical_params(double eps, double alpha) {
   return p;
 }
 
-bool Params::satisfies_stretch_conditions() const {
-  return t > 1.0 && t1 > 1.0 && t1 < t && delta > 0.0 && delta <= (t - t1) / 4.0 &&
-         geom::theta_valid_for_stretch(theta, t) && alpha > 0.0 && alpha <= 1.0 && r > 1.0;
-}
+bool Params::satisfies_stretch_conditions() const { return all_ok(stretch_conditions(*this)); }
 
 bool Params::satisfies_weight_conditions() const {
-  if (!satisfies_stretch_conditions()) return false;
-  const double d_cap = std::min((t - 1.0) / (6.0 + 2.0 * t), (t - t1) / 4.0);
-  const double td = t1 * (1.0 - 2.0 * delta) / (1.0 + 6.0 * delta);
-  return delta < d_cap && td > 1.0 && r < (td + 1.0) / 2.0;
+  return satisfies_stretch_conditions() && all_ok(weight_conditions(*this));
+}
+
+std::vector<std::string> Params::violated_conditions() const {
+  std::vector<Condition> conditions = stretch_conditions(*this);
+  if (strict) {
+    const std::vector<Condition> weight = weight_conditions(*this);
+    conditions.insert(conditions.end(), weight.begin(), weight.end());
+  }
+  std::vector<std::string> out;
+  for (const Condition& c : conditions) {
+    if (!c.ok) out.push_back(c.name);
+  }
+  return out;
 }
 
 void Params::validate() const {
-  if (!satisfies_stretch_conditions()) {
-    throw std::invalid_argument("Params: stretch-side (Theorem 10) conditions violated: " +
-                                describe());
+  const std::vector<std::string> violated = violated_conditions();
+  if (violated.empty()) return;
+  std::string conditions;
+  for (const std::string& v : violated) {
+    if (!conditions.empty()) conditions += "; ";
+    conditions += v;
   }
-  if (strict && !satisfies_weight_conditions()) {
-    throw std::invalid_argument("Params: weight-side (Theorem 13) conditions violated: " +
-                                describe());
-  }
+  throw std::invalid_argument("Params: violated condition(s): " + conditions + " — " + describe());
 }
 
 std::string Params::describe() const {

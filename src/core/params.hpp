@@ -15,6 +15,7 @@
 /// weight constant — experiment E12 quantifies the difference.
 
 #include <string>
+#include <vector>
 
 namespace localspan::core {
 
@@ -45,8 +46,16 @@ struct Params {
   /// True iff all Theorem 13 weight-side conditions hold too.
   [[nodiscard]] bool satisfies_weight_conditions() const;
 
-  /// Throws std::invalid_argument when the stretch-side conditions fail
-  /// (running the algorithm would void its guarantee).
+  /// Every violated sufficient condition, each named after the inequality it
+  /// breaks (stretch-side Theorem 10 / Lemma 3 conditions always; weight-side
+  /// Theorem 13 conditions additionally when `strict`). Empty iff validate()
+  /// would pass — registry- or caller-supplied parameters fail loudly with
+  /// the exact condition in the message.
+  [[nodiscard]] std::vector<std::string> violated_conditions() const;
+
+  /// Throws std::invalid_argument naming each violated condition when the
+  /// stretch-side conditions fail (running the algorithm would void its
+  /// guarantee), or when `strict` and the weight-side conditions fail.
   void validate() const;
 
   [[nodiscard]] std::string describe() const;

@@ -22,7 +22,13 @@ void sort_unique(std::vector<int>& v) {
 
 DynamicSpanner::DynamicSpanner(ubg::UbgInstance inst, const core::Params& params,
                                DynamicOptions opts)
-    : inst_(std::move(inst)), params_(params), opts_(std::move(opts)), spanner_(0) {
+    : inst_(std::move(inst)),
+      params_(params),
+      opts_(std::move(opts)),
+      spanner_(0),
+      // Cell side 1.0: connect_radius <= 1, so one adjacent-cell sweep
+      // covers every possible radio link.
+      grid_(inst_.config.dim, 1.0) {
   params_.validate();
   if (std::abs(params_.alpha - inst_.config.alpha) > 1e-12) {
     throw std::invalid_argument("DynamicSpanner: params.alpha != instance alpha");
@@ -46,6 +52,12 @@ DynamicSpanner::DynamicSpanner(ubg::UbgInstance inst, const core::Params& params
   }
   active_.assign(static_cast<std::size_t>(inst_.g.n()), 1);
   active_count_ = inst_.g.n();
+  for (int v = 0; v < inst_.g.n(); ++v) {
+    grid_.insert(v, inst_.points[static_cast<std::size_t>(v)]);
+  }
+  scratch_local_id_.assign(static_cast<std::size_t>(inst_.g.n()), -1);
+  scratch_in_core_.assign(static_cast<std::size_t>(inst_.g.n()), 0);
+  scratch_in_scope_.assign(static_cast<std::size_t>(inst_.g.n()), 0);
   full_recompute();
 }
 
@@ -73,7 +85,34 @@ void DynamicSpanner::ensure_slot(int v) {
     active_.push_back(0);
     spanner_.add_vertex();
     ++inst_.config.n;
+    scratch_local_id_.push_back(-1);
+    scratch_in_core_.push_back(0);
+    scratch_in_scope_.push_back(0);
   }
+}
+
+void DynamicSpanner::connect_neighbors(int node, std::vector<int>* touched) {
+  if (opts_.linear_scan_discovery) {
+    // Same squared-distance comparison as DynamicGrid::for_neighbors_within,
+    // so the two discovery paths agree bit-for-bit on boundary pairs.
+    const double r2 = opts_.connect_radius * opts_.connect_radius;
+    const geom::Point& at = inst_.points[static_cast<std::size_t>(node)];
+    for (int u = 0; u < inst_.g.n(); ++u) {
+      if (u == node || !active_[static_cast<std::size_t>(u)]) continue;
+      const double d2 = geom::sq_distance(at, inst_.points[static_cast<std::size_t>(u)]);
+      if (d2 <= r2) {
+        inst_.g.add_edge(node, u, std::max(std::sqrt(d2), 1e-12));
+        touched->push_back(u);
+      }
+    }
+    return;
+  }
+  grid_.for_neighbors_within(inst_.points[static_cast<std::size_t>(node)], opts_.connect_radius,
+                             [&](int u, double d) {
+                               if (u == node) return;
+                               inst_.g.add_edge(node, u, std::max(d, 1e-12));
+                               touched->push_back(u);
+                             });
 }
 
 void DynamicSpanner::check_position(const geom::Point& pos) const {
@@ -104,15 +143,9 @@ std::vector<int> DynamicSpanner::update_ubg(const ChurnEvent& ev, RepairStats* s
       inst_.points[slot] = ev.pos;
       active_[slot] = 1;
       ++active_count_;
+      grid_.insert(ev.node, ev.pos);
       touched.push_back(ev.node);
-      for (int u = 0; u < inst_.g.n(); ++u) {
-        if (u == ev.node || !active_[static_cast<std::size_t>(u)]) continue;
-        const double d = inst_.dist(ev.node, u);
-        if (d <= opts_.connect_radius) {
-          inst_.g.add_edge(ev.node, u, std::max(d, 1e-12));
-          touched.push_back(u);
-        }
-      }
+      connect_neighbors(ev.node, &touched);
       break;
     }
     case EventKind::kLeave: {
@@ -127,6 +160,7 @@ std::vector<int> DynamicSpanner::update_ubg(const ChurnEvent& ev, RepairStats* s
       const auto slot = static_cast<std::size_t>(ev.node);
       active_[slot] = 0;
       --active_count_;
+      grid_.remove(ev.node);
       inst_.points[slot] = parked_position(ev.node);
       break;
     }
@@ -142,16 +176,10 @@ std::vector<int> DynamicSpanner::update_ubg(const ChurnEvent& ev, RepairStats* s
         if (spanner_.remove_edge(ev.node, u)) ++st->spanner_edges_removed;
       }
       inst_.points[static_cast<std::size_t>(ev.node)] = ev.pos;
+      grid_.move(ev.node, ev.pos);
       touched = std::move(old_nbrs);
       touched.push_back(ev.node);
-      for (int u = 0; u < inst_.g.n(); ++u) {
-        if (u == ev.node || !active_[static_cast<std::size_t>(u)]) continue;
-        const double d = inst_.dist(ev.node, u);
-        if (d <= opts_.connect_radius) {
-          inst_.g.add_edge(ev.node, u, std::max(d, 1e-12));
-          touched.push_back(u);
-        }
-      }
+      connect_neighbors(ev.node, &touched);
       break;
     }
   }
@@ -167,9 +195,11 @@ void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
   const graph::ShortestPaths sp =
       graph::dijkstra_multi_bounded(inst_.g, touched, ball_radius_, tf);
 
+  // Scratch reuse: local_id/in_core are event-clean members (-1/0 outside
+  // the previous ball, reset below before returning).
   std::vector<int> ball;
-  std::vector<int> local_id(static_cast<std::size_t>(inst_.g.n()), -1);
-  std::vector<char> in_core(static_cast<std::size_t>(inst_.g.n()), 0);
+  std::vector<int>& local_id = scratch_local_id_;
+  std::vector<char>& in_core = scratch_in_core_;
   for (int v = 0; v < inst_.g.n(); ++v) {
     const double d = sp.dist[static_cast<std::size_t>(v)];
     if (d > ball_radius_) continue;
@@ -226,36 +256,63 @@ void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
       modified->push_back(gv);
     }
   }
+
+  // Restore the event-clean scratch invariant in O(|ball|).
+  for (int v : ball) {
+    local_id[static_cast<std::size_t>(v)] = -1;
+    in_core[static_cast<std::size_t>(v)] = 0;
+  }
 }
 
 bool DynamicSpanner::certify(const std::vector<int>& modified) const {
   const std::function<double(double)>& tf = opts_.greedy.weight_transform;
   const double scope_radius = witness_bound_ + wmax_;
-  std::vector<char> in_scope(static_cast<std::size_t>(inst_.g.n()), 1);
-  if (!modified.empty()) {
+  // Scratch reuse: in_scope is an event-clean member (all-0 between calls);
+  // scoped_ records the entries to reset. An empty `modified` means "certify
+  // everything" without materializing the flag array.
+  const bool full_scope = modified.empty();
+  std::vector<char>& in_scope = scratch_in_scope_;
+  scratch_scoped_.clear();
+  if (!full_scope) {
     const graph::ShortestPaths sp =
         graph::dijkstra_multi_bounded(inst_.g, modified, scope_radius, tf);
     for (int v = 0; v < inst_.g.n(); ++v) {
-      in_scope[static_cast<std::size_t>(v)] = sp.dist[static_cast<std::size_t>(v)] <= scope_radius;
+      if (sp.dist[static_cast<std::size_t>(v)] <= scope_radius) {
+        in_scope[static_cast<std::size_t>(v)] = 1;
+        scratch_scoped_.push_back(v);
+      }
     }
   }
+  const auto scoped = [&](int v) {
+    return full_scope || in_scope[static_cast<std::size_t>(v)] != 0;
+  };
+  const auto reset_scope = [this] {
+    for (int v : scratch_scoped_) scratch_in_scope_[static_cast<std::size_t>(v)] = 0;
+  };
   // Re-derivation tolerance: witness weights are sums of O(1/wmin) doubles.
   const double slack = 1.0 + 1e-9;
   for (int u = 0; u < inst_.g.n(); ++u) {
-    if (!in_scope[static_cast<std::size_t>(u)]) continue;
-    if (spanner_.degree(u) > opts_.caps.max_degree) return false;
+    if (!scoped(u)) continue;
+    if (spanner_.degree(u) > opts_.caps.max_degree) {
+      reset_scope();
+      return false;
+    }
     for (const graph::Neighbor& nb : inst_.g.neighbors(u)) {
       // Each scoped edge once: via its smaller endpoint when both are
       // scoped, else via the scoped one.
-      if (in_scope[static_cast<std::size_t>(nb.to)] && nb.to < u) continue;
+      if (scoped(nb.to) && nb.to < u) continue;
       // spanner_ edge weights are already in active (transformed) units —
       // relaxed_greedy stores transform(len) on every edge it emits — so the
       // sp_distance sum below is directly comparable to this bound.
       const double w = active_weight(nb.w);
       const double bound = params_.t * w * slack;
-      if (graph::sp_distance(spanner_, u, nb.to, bound) > bound) return false;
+      if (graph::sp_distance(spanner_, u, nb.to, bound) > bound) {
+        reset_scope();
+        return false;
+      }
     }
   }
+  reset_scope();
   return true;
 }
 

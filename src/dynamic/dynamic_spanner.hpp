@@ -38,6 +38,7 @@
 #include "core/relaxed_greedy.hpp"
 #include "core/verify.hpp"
 #include "dynamic/churn.hpp"
+#include "geom/dynamic_grid.hpp"
 #include "graph/graph.hpp"
 #include "ubg/generator.hpp"
 
@@ -80,6 +81,12 @@ struct DynamicOptions {
   /// Baseline mode: rebuild the spanner from scratch after every event
   /// instead of repairing locally (what the E15 bench races against).
   bool always_full_recompute = false;
+
+  /// Discover event-incident neighbors with the pre-spatial-hash Ω(n)
+  /// all-slot scan instead of the maintained DynamicGrid. Kept as the
+  /// before/after baseline for E15 and the equivalence test; the two paths
+  /// produce identical topologies.
+  bool linear_scan_discovery = false;
 
   /// Degree/lightness caps enforced by the checker (lightness at kFull only).
   core::VerifyCaps caps;
@@ -154,6 +161,11 @@ class DynamicSpanner {
   void ensure_slot(int v);
   void check_position(const geom::Point& pos) const;
 
+  /// Add UBG edges between `node` (live, position set) and every live node
+  /// within connect_radius, appending the connected partners to `touched`.
+  /// Uses the maintained spatial hash unless linear_scan_discovery is set.
+  void connect_neighbors(int node, std::vector<int>* touched);
+
   /// Mutate the UBG (and drop departed spanner edges); returns the touched
   /// live vertex set D, deduplicated.
   std::vector<int> update_ubg(const ChurnEvent& ev, RepairStats* st);
@@ -166,10 +178,20 @@ class DynamicSpanner {
   graph::Graph spanner_;
   std::vector<char> active_;
   int active_count_ = 0;
+  geom::DynamicGrid grid_;    ///< spatial hash over the LIVE nodes only.
   double wmax_ = 1.0;         ///< transform(1): heaviest possible edge weight.
   double witness_bound_ = 0;  ///< W = t·wmax.
   double core_radius_ = 0;    ///< K.
   double ball_radius_ = 0;    ///< R = K + W (unless overridden).
+
+  // Repair/certify scratch, reused across events (ROADMAP open item: no
+  // O(n) allocation per event). Entries touched by one event are reset
+  // before the next; the certify buffers are mutable because certify() is
+  // logically const.
+  std::vector<int> scratch_local_id_;          ///< -1 outside the current ball.
+  std::vector<char> scratch_in_core_;          ///< 0 outside the current core.
+  mutable std::vector<char> scratch_in_scope_; ///< 0 outside the current scope.
+  mutable std::vector<int> scratch_scoped_;    ///< scope members (reset list).
 };
 
 }  // namespace localspan::dynamic

@@ -1,0 +1,63 @@
+#pragma once
+/// \file cell_hash.hpp
+/// Shared cell-key hashing for the spatial indices (geom/grid.hpp,
+/// geom/dynamic_grid.hpp): a d-dimensional integer cell coordinate stream is
+/// mixed into one 64-bit key. Coordinates may be negative (dynamic slots park
+/// departed nodes on the negative side of axis 0); exact collisions across
+/// distant cells are tolerable (buckets just merge, and the distance check
+/// filters), but the constants below make them vanishingly rare.
+
+#include <cmath>
+#include <cstdint>
+
+#include "geom/point.hpp"
+
+namespace localspan::geom::detail {
+
+inline constexpr std::uint64_t kCellHashBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kCellHashMix = 0x9E3779B97F4A7C15ULL;
+
+[[nodiscard]] inline std::uint64_t cell_hash_combine(std::uint64_t h, std::int64_t v) {
+  h ^= static_cast<std::uint64_t>(v) + kCellHashMix + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Key of the cell containing p (side `cell`, first `dim` coordinates).
+[[nodiscard]] inline std::uint64_t cell_key(const Point& p, int dim, double cell) {
+  std::uint64_t h = kCellHashBasis;
+  for (int k = 0; k < dim; ++k) {
+    h = cell_hash_combine(h, static_cast<std::int64_t>(std::floor(p[k] / cell)));
+  }
+  return h;
+}
+
+/// Invoke `fn(key)` for each of the 3^dim cells adjacent to (and including)
+/// p's cell — every point within distance `cell` of p lies in one of them.
+template <typename Fn>
+void for_each_adjacent_cell(const Point& p, int dim, double cell, Fn&& fn) {
+  std::array<std::int64_t, kMaxDim> base{};
+  for (int k = 0; k < dim; ++k) {
+    base[static_cast<std::size_t>(k)] = static_cast<std::int64_t>(std::floor(p[k] / cell));
+  }
+  std::array<int, kMaxDim> off{};
+  off.fill(-1);
+  while (true) {
+    std::uint64_t h = kCellHashBasis;
+    for (int k = 0; k < dim; ++k) {
+      h = cell_hash_combine(h, base[static_cast<std::size_t>(k)] + off[static_cast<std::size_t>(k)]);
+    }
+    fn(h);
+    int k = 0;
+    for (; k < dim; ++k) {
+      auto& o = off[static_cast<std::size_t>(k)];
+      if (o < 1) {
+        ++o;
+        break;
+      }
+      o = -1;
+    }
+    if (k == dim) break;
+  }
+}
+
+}  // namespace localspan::geom::detail

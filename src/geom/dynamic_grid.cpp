@@ -1,0 +1,67 @@
+#include "geom/dynamic_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/cell_hash.hpp"
+
+namespace localspan::geom {
+
+DynamicGrid::DynamicGrid(int dim, double cell) : dim_(dim), cell_(cell) {
+  if (dim < 2 || dim > kMaxDim) throw std::invalid_argument("DynamicGrid: bad dimension");
+  if (!(cell > 0.0)) throw std::invalid_argument("DynamicGrid: cell size must be positive");
+}
+
+void DynamicGrid::check_point(const Point& p) const {
+  if (p.dim() != dim_) throw std::invalid_argument("DynamicGrid: point dimension mismatch");
+}
+
+bool DynamicGrid::contains(int id) const {
+  return id >= 0 && id < static_cast<int>(present_.size()) &&
+         present_[static_cast<std::size_t>(id)] != 0;
+}
+
+void DynamicGrid::insert(int id, const Point& p) {
+  if (id < 0) throw std::invalid_argument("DynamicGrid: negative id");
+  check_point(p);
+  if (contains(id)) throw std::invalid_argument("DynamicGrid: id already present");
+  if (id >= static_cast<int>(present_.size())) {
+    present_.resize(static_cast<std::size_t>(id) + 1, 0);
+    pos_.resize(static_cast<std::size_t>(id) + 1, Point(dim_));
+    key_.resize(static_cast<std::size_t>(id) + 1, 0);
+  }
+  const std::uint64_t key = detail::cell_key(p, dim_, cell_);
+  buckets_[key].push_back(id);
+  const auto slot = static_cast<std::size_t>(id);
+  present_[slot] = 1;
+  pos_[slot] = p;
+  key_[slot] = key;
+  ++count_;
+}
+
+void DynamicGrid::remove(int id) {
+  if (!contains(id)) throw std::invalid_argument("DynamicGrid: id not present");
+  const auto slot = static_cast<std::size_t>(id);
+  auto it = buckets_.find(key_[slot]);
+  std::vector<int>& bucket = it->second;
+  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  if (bucket.empty()) buckets_.erase(it);
+  present_[slot] = 0;
+  --count_;
+}
+
+void DynamicGrid::move(int id, const Point& p) {
+  if (!contains(id)) throw std::invalid_argument("DynamicGrid: id not present");
+  check_point(p);
+  const auto slot = static_cast<std::size_t>(id);
+  const std::uint64_t key = detail::cell_key(p, dim_, cell_);
+  if (key == key_[slot]) {
+    pos_[slot] = p;
+    return;
+  }
+  remove(id);
+  insert(id, p);
+}
+
+}  // namespace localspan::geom

@@ -3,22 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "geom/cell_hash.hpp"
+
 namespace localspan::geom {
-
-namespace {
-
-// Mix a (dimension, cell-coordinate) stream into a single 64-bit key.
-// Coordinates are offset to stay positive for typical workspaces; exact
-// collisions across distant cells are tolerable (buckets just merge, and the
-// distance check filters), but the constants below make them vanishingly rare.
-constexpr std::uint64_t kMix = 0x9E3779B97F4A7C15ULL;
-
-std::uint64_t hash_combine(std::uint64_t h, std::int64_t v) {
-  h ^= static_cast<std::uint64_t>(v) + kMix + (h << 6) + (h >> 2);
-  return h;
-}
-
-}  // namespace
 
 Grid::Grid(const std::vector<Point>& points, double cell)
     : points_(&points), cell_(cell), dim_(points.empty() ? 0 : points.front().dim()) {
@@ -33,37 +20,10 @@ Grid::Grid(const std::vector<Point>& points, double cell)
   }
 }
 
-Grid::CellKey Grid::key_of(const Point& p) const {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (int k = 0; k < dim_; ++k) {
-    h = hash_combine(h, static_cast<std::int64_t>(std::floor(p[k] / cell_)));
-  }
-  return h;
-}
+Grid::CellKey Grid::key_of(const Point& p) const { return detail::cell_key(p, dim_, cell_); }
 
 void Grid::neighbor_cells(const Point& p, const std::function<void(CellKey)>& fn) const {
-  // Enumerate the 3^d cells around p's cell.
-  std::array<std::int64_t, kMaxDim> base{};
-  for (int k = 0; k < dim_; ++k) base[static_cast<std::size_t>(k)] = static_cast<std::int64_t>(std::floor(p[k] / cell_));
-  std::array<int, kMaxDim> off{};
-  off.fill(-1);
-  while (true) {
-    std::uint64_t h = 1469598103934665603ULL;
-    for (int k = 0; k < dim_; ++k) {
-      h = hash_combine(h, base[static_cast<std::size_t>(k)] + off[static_cast<std::size_t>(k)]);
-    }
-    fn(h);
-    int k = 0;
-    for (; k < dim_; ++k) {
-      auto& o = off[static_cast<std::size_t>(k)];
-      if (o < 1) {
-        ++o;
-        break;
-      }
-      o = -1;
-    }
-    if (k == dim_) break;
-  }
+  detail::for_each_adjacent_cell(p, dim_, cell_, fn);
 }
 
 void Grid::for_neighbors_within(int i, double radius, const std::function<void(int)>& fn) const {

@@ -1,0 +1,58 @@
+# Registry-driven CLI smoke, run as a CTest script:
+#   cmake -DCLI=<path> -DWORK_DIR=<dir> -P cli_algo_smoke.cmake
+#
+# Enumerates the algorithm registry via `span --algo list` and runs
+# `span --algo <name>` for every registered algorithm on a small closed
+# (always-connect) instance — the CLI checks each build's declared
+# guarantees, so this sweep certifies that every registry entry builds AND
+# honors its self-description end to end. Runs on every CI matrix leg.
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<localspan_cli> -DWORK_DIR=<dir> -P cli_algo_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_cli expect_rc out_var)
+  execute_process(
+    COMMAND "${CLI}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL expect_rc)
+    message(FATAL_ERROR "localspan_cli ${ARGN} exited ${rc} (expected ${expect_rc})\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_cli(0 gen_out gen --n 48 --alpha 0.75 --dim 2 --seed 11 --out algos.lsi)
+
+# Enumerate the registry. Algorithm rows are "  <name> <summary>".
+run_cli(0 list_out span --algo list)
+string(REPLACE "\n" ";" list_lines "${list_out}")
+set(algos "")
+foreach(line IN LISTS list_lines)
+  if(line MATCHES "^  ([a-z][a-z0-9-]*) ")
+    list(APPEND algos "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+list(LENGTH algos n_algos)
+if(n_algos LESS 9)
+  message(FATAL_ERROR "--algo list enumerated only ${n_algos} algorithms:\n${list_out}")
+endif()
+
+# Build through every registered algorithm; the CLI exits nonzero if a
+# build violates its declared guarantees.
+foreach(algo IN LISTS algos)
+  run_cli(0 span_out span --in algos.lsi --eps 0.5 --algo "${algo}")
+  if(NOT span_out MATCHES "spanner: [0-9]+ -> [0-9]+ edges")
+    message(FATAL_ERROR "span --algo ${algo} output shape mismatch:\n${span_out}")
+  endif()
+  if(NOT span_out MATCHES "declared: ")
+    message(FATAL_ERROR "span --algo ${algo} did not report declared guarantees:\n${span_out}")
+  endif()
+endforeach()
+
+message(STATUS "cli_algo_smoke: ${n_algos} algorithms built and honored their declarations (${algos})")

@@ -51,6 +51,13 @@ endforeach()
 # verify: exit 0 means the spanner passed verification.
 run_cli(0 verify_out verify --in tiny.lsi --eps 0.5)
 
+# verify a transformed-metric algorithm: must compare against the reweighted
+# reference (not Euclidean weights) and still pass.
+run_cli(0 energy_verify_out verify --in tiny.lsi --eps 0.5 --algo energy)
+if(NOT energy_verify_out MATCHES "transformed metric")
+  message(FATAL_ERROR "verify --algo energy did not report the transformed metric:\n${energy_verify_out}")
+endif()
+
 # route: prints delivery/stretch lines for both topologies.
 run_cli(0 route_out route --in tiny.lsi --eps 0.5 --trials 50)
 if(NOT route_out MATCHES "spanner +greedy routing: delivery [0-9.]+%")
@@ -59,6 +66,59 @@ endif()
 
 # missing input file -> error exit.
 run_cli(1 missing_out span --in does_not_exist.lsi --eps 0.5)
+
+# unknown flag -> usage error naming the flag (no silent ignoring).
+function(run_cli_err expect_pattern)
+  execute_process(
+    COMMAND "${CLI}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR "localspan_cli ${ARGN} exited ${rc} (expected 1)\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  if(NOT err MATCHES "${expect_pattern}")
+    message(FATAL_ERROR "localspan_cli ${ARGN}: stderr does not match '${expect_pattern}':\n${err}")
+  endif()
+endfunction()
+
+run_cli_err("unknown flag --bogus" span --in tiny.lsi --eps 0.5 --bogus 1)
+run_cli_err("unknown flag --epz" verify --in tiny.lsi --epz 0.5)
+run_cli_err("stray argument" gen extra --n 16 --out x.lsi)
+
+# unknown algorithm -> error naming the available ones.
+run_cli_err("unknown algorithm 'nope'" span --in tiny.lsi --eps 0.5 --algo nope)
+
+# unknown algorithm option -> rejected by the BuildRequest schema validation.
+run_cli_err("does not accept option 'cones'" span --in tiny.lsi --eps 0.5 --algo yao --opt cones=9)
+
+# malformed option value -> typed-accessor rejection.
+run_cli_err("expected an integer" span --in tiny.lsi --eps 0.5 --algo yao --opt k=many)
+
+# malformed / out-of-range numeric values -> strict full-string parsing,
+# for flag values and option values alike (no silent truncation).
+run_cli_err("--eps: expected a number" span --in tiny.lsi --eps 0.5x)
+run_cli_err("option k: integer out of range" span --in tiny.lsi --eps 0.5 --algo yao --opt k=4294967304)
+
+# flags the chosen algorithm cannot consume -> rejected, not dropped.
+run_cli_err("--strict has no effect" span --in tiny.lsi --eps 0.5 --algo yao --strict)
+run_cli_err("--seed has no effect" span --in tiny.lsi --eps 0.5 --algo yao --seed 7)
+
+# repeated option -> rejected rather than silently last-wins.
+run_cli_err("option 'k' given more than once" span --in tiny.lsi --eps 0.5 --algo yao --opt k=8 --opt k=12)
+
+# span through a non-default registry algorithm.
+run_cli(0 yao_out span --in tiny.lsi --eps 0.5 --algo yao --opt k=9)
+if(NOT yao_out MATCHES "spanner: [0-9]+ -> [0-9]+ edges")
+  message(FATAL_ERROR "span --algo yao output shape mismatch:\n${yao_out}")
+endif()
+
+# --algo list enumerates the registry.
+run_cli(0 list_out span --algo list)
+if(NOT list_out MATCHES "registered algorithms \\(1?[0-9]+\\):" OR NOT list_out MATCHES "relaxed-dist")
+  message(FATAL_ERROR "--algo list output shape mismatch:\n${list_out}")
+endif()
 
 # trace: generate a churn trace (JSON and binary) from the instance.
 run_cli(0 trace_out trace --in tiny.lsi --model poisson --events 12 --seed 3 --out tiny_churn.json)

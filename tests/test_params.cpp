@@ -1,11 +1,29 @@
-// Tests for parameter derivation (Theorem 10/13 constraint satisfaction)
+// Tests for parameter derivation (Theorem 10/13 constraint satisfaction),
+// boundary values of the validation conditions (named-violation messages),
 // and the geometric bin schema of §2.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numbers>
 
 #include "core/bins.hpp"
 #include "core/params.hpp"
 
 namespace core = localspan::core;
+
+namespace {
+
+/// The std::invalid_argument raised by p.validate(), or "" if none.
+std::string validation_message(const core::Params& p) {
+  try {
+    p.validate();
+    return {};
+  } catch (const std::invalid_argument& ex) {
+    return ex.what();
+  }
+}
+
+}  // namespace
 
 class StrictParams : public ::testing::TestWithParam<double> {};
 
@@ -54,6 +72,75 @@ TEST(Params, ValidateCatchesTampering) {
   core::Params q = core::Params::strict_params(0.5, 0.75);
   q.t1 = q.t + 0.1;
   EXPECT_THROW(q.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Boundary values of the sufficient conditions. Registry- or caller-supplied
+// parameter sets must fail loudly, with the violated condition named in the
+// message (not just the parameter dump).
+// ---------------------------------------------------------------------------
+
+TEST(ParamsBoundaries, ThetaAtPiOverFourIsRejectedByName) {
+  core::Params p = core::Params::strict_params(0.5, 0.75);
+  p.theta = std::numbers::pi / 4.0;  // the Lemma 3 interval is open at pi/4
+  EXPECT_FALSE(p.satisfies_stretch_conditions());
+  const std::string msg = validation_message(p);
+  EXPECT_NE(msg.find("theta"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("Lemma 3"), std::string::npos) << msg;
+}
+
+TEST(ParamsBoundaries, ThetaAboveTheStretchBoundIsRejected) {
+  core::Params p = core::Params::practical_params(0.5, 0.75);
+  // cos(theta) - sin(theta) >= 1/t fails well before pi/4 for small t.
+  p.theta = 0.999 * std::numbers::pi / 4.0;
+  EXPECT_FALSE(p.satisfies_stretch_conditions());
+  EXPECT_NE(validation_message(p).find("cos(theta) - sin(theta) >= 1/t"), std::string::npos);
+}
+
+TEST(ParamsBoundaries, DeltaAtTheTheorem13CeilingIsRejectedByName) {
+  core::Params p = core::Params::strict_params(0.5, 0.75);
+  const double ceiling = std::min((p.t - 1.0) / (6.0 + 2.0 * p.t), (p.t - p.t1) / 4.0);
+  p.delta = ceiling;  // Theorem 13 requires strict inequality
+  EXPECT_FALSE(p.satisfies_weight_conditions());
+  const std::string msg = validation_message(p);
+  EXPECT_NE(msg.find("delta"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("Theorem 13"), std::string::npos) << msg;
+}
+
+TEST(ParamsBoundaries, DeltaAtTheStretchCeilingIsAccepted) {
+  // The Theorem 10 bound delta <= (t - t1)/4 is inclusive: the practical
+  // preset (no weight-side requirements) must accept the exact boundary.
+  core::Params p = core::Params::practical_params(0.5, 0.75);
+  p.delta = (p.t - p.t1) / 4.0;
+  EXPECT_TRUE(p.satisfies_stretch_conditions());
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ParamsBoundaries, T1ReachingTIsRejectedByName) {
+  core::Params p = core::Params::practical_params(0.5, 0.75);
+  p.t1 = p.t;  // 1 < t1 < t is open at t
+  EXPECT_FALSE(p.satisfies_stretch_conditions());
+  EXPECT_NE(validation_message(p).find("t1 < t"), std::string::npos);
+}
+
+TEST(ParamsBoundaries, T1ApproachingTStarvesDelta) {
+  // As t1 -> t the delta budget (t - t1)/4 collapses below any fixed delta;
+  // the violated condition must name the delta/t1 coupling.
+  core::Params p = core::Params::practical_params(0.5, 0.75);
+  p.t1 = p.t - 1e-12;
+  EXPECT_FALSE(p.satisfies_stretch_conditions());
+  EXPECT_NE(validation_message(p).find("delta <= (t - t1)/4"), std::string::npos);
+}
+
+TEST(ParamsBoundaries, EveryViolationIsListed) {
+  core::Params p;  // default-constructed: t1 = delta = theta = r = 0
+  const std::vector<std::string> violated = p.violated_conditions();
+  EXPECT_GE(violated.size(), 4u);
+  const std::string msg = validation_message(p);
+  for (const std::string& v : violated) {
+    EXPECT_NE(msg.find(v), std::string::npos) << "message misses: " << v;
+  }
+  EXPECT_TRUE(core::Params::strict_params(0.5, 0.75).violated_conditions().empty());
 }
 
 TEST(Params, DescribeMentionsMode) {

@@ -49,6 +49,31 @@ foreach(artifact IN LISTS artifacts)
   if(n_tables LESS 1)
     message(FATAL_ERROR "collect_bench: ${artifact} has no tables")
   endif()
+  # E6 is the registry sweep: its first table must carry one uniform record
+  # per registered algorithm — an "algo" first column, at least 9 rows, and a
+  # non-empty algorithm name plus declared-guarantee cell in every row.
+  if(id STREQUAL "E6")
+    string(JSON first_col GET "${payload}" "tables" 0 "columns" 0)
+    if(NOT first_col STREQUAL "algo")
+      message(FATAL_ERROR "collect_bench: E6 first column is '${first_col}', expected 'algo'")
+    endif()
+    string(JSON n_cols LENGTH "${payload}" "tables" 0 "columns")
+    string(JSON n_rows LENGTH "${payload}" "tables" 0 "rows")
+    if(n_rows LESS 9)
+      message(FATAL_ERROR "collect_bench: E6 has ${n_rows} algorithm records, expected >= 9")
+    endif()
+    math(EXPR last_row "${n_rows} - 1")
+    math(EXPR declared_col "${n_cols} - 1")
+    foreach(row_idx RANGE ${last_row})
+      string(JSON algo_cell GET "${payload}" "tables" 0 "rows" ${row_idx} 0)
+      string(JSON row_len LENGTH "${payload}" "tables" 0 "rows" ${row_idx})
+      string(JSON declared_cell GET "${payload}" "tables" 0 "rows" ${row_idx} ${declared_col})
+      if(algo_cell STREQUAL "" OR NOT row_len EQUAL n_cols OR declared_cell STREQUAL "")
+        message(FATAL_ERROR "collect_bench: E6 row ${row_idx} malformed (algo='${algo_cell}', ${row_len}/${n_cols} cells)")
+      endif()
+    endforeach()
+    message(STATUS "collect_bench: E6 per-algorithm records valid (${n_rows} algorithms)")
+  endif()
   string(STRIP "${payload}" payload)
   if(count GREATER 0)
     string(APPEND payloads ",\n")

@@ -1,13 +1,18 @@
-/// localspan command-line tool: generate, span, verify, export, churn.
+/// localspan command-line tool: generate, span, verify, route, trace, churn.
 ///
 ///   localspan_cli gen  --n 512 --alpha 0.75 --dim 2 --seed 7 --out net.lsi
-///   localspan_cli span --in net.lsi --eps 0.5 [--strict] [--distributed]
-///                      [--out-dot spanner.dot] [--out-csv spanner.csv]
-///   localspan_cli verify --in net.lsi --eps 0.5
-///   localspan_cli route --in net.lsi --eps 0.5 --trials 200
+///   localspan_cli span --in net.lsi --eps 0.5 --algo relaxed [--opt k=9 ...]
+///                      [--strict] [--out-dot spanner.dot] [--out-csv spanner.csv]
+///   localspan_cli span --algo list            # enumerate the registry
+///   localspan_cli verify --in net.lsi --eps 0.5 [--algo NAME]
+///   localspan_cli route --in net.lsi --eps 0.5 --trials 200 [--algo NAME]
 ///   localspan_cli trace --in net.lsi --model poisson --events 64 --out churn.json
 ///   localspan_cli dynamic --in net.lsi --trace churn.json --eps 0.5
 ///
+/// Every construction goes through the api::AlgorithmRegistry — `--algo`
+/// picks any registered algorithm, `--opt key=value` (repeatable) passes
+/// algorithm options, and `--algo list` prints the full self-description.
+/// Unknown flags and unknown algorithm options are usage errors.
 /// Exit code 0 on success / verification pass, 1 otherwise.
 #include <algorithm>
 #include <cstdint>
@@ -15,11 +20,11 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
-#include "core/distributed.hpp"
-#include "core/relaxed_greedy.hpp"
+#include "api/spanner_algorithm.hpp"
 #include "core/verify.hpp"
 #include "dynamic/churn.hpp"
 #include "dynamic/dynamic_spanner.hpp"
@@ -33,55 +38,92 @@ using namespace localspan;
 
 namespace {
 
-/// Tiny flag parser: --key value pairs plus boolean --key switches.
+/// Tiny flag parser: --key value pairs, boolean --key switches, repeatable
+/// flags. Every token must be a flag or a flag's value; each command then
+/// declares its allowed flag set and anything else is a usage error
+/// (mirroring the BuildRequest unknown-option rejection).
 class Args {
  public:
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) continue;
-      key = key.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        kv_[key] = argv[++i];
-      } else {
-        kv_[key] = "1";
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("stray argument '" + key + "' (flags start with --)");
       }
+      key = key.substr(2);
+      if (key.empty()) throw std::invalid_argument("empty flag '--'");
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        kv_[key].push_back(argv[++i]);
+      } else {
+        kv_[key].push_back("1");
+      }
+    }
+  }
+
+  /// Reject flags outside `allowed`. \throws std::invalid_argument naming
+  /// the unknown flag and the command's flag set.
+  void require_known(const std::string& cmd, const std::set<std::string>& allowed) const {
+    for (const auto& [key, values] : kv_) {
+      if (!allowed.contains(key)) {
+        std::string known;
+        for (const std::string& a : allowed) {
+          if (!known.empty()) known += ", --";
+          known += a;
+        }
+        throw std::invalid_argument(cmd + ": unknown flag --" + key + " (allowed: --" + known +
+                                    ")");
+      }
+      static_cast<void>(values);
     }
   }
 
   [[nodiscard]] std::string get(const std::string& key, const std::string& dflt) const {
     auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : it->second;
+    return it == kv_.end() ? dflt : it->second.back();
   }
   [[nodiscard]] int get_int(const std::string& key, int dflt) const {
     auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : std::stoi(it->second);
+    return it == kv_.end() ? dflt : api::parse_int("--" + key, it->second.back());
   }
   [[nodiscard]] double get_double(const std::string& key, double dflt) const {
     auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : std::stod(it->second);
+    return it == kv_.end() ? dflt : api::parse_double("--" + key, it->second.back());
   }
   [[nodiscard]] bool has(const std::string& key) const { return kv_.contains(key); }
+  [[nodiscard]] std::vector<std::string> get_all(const std::string& key) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? std::vector<std::string>{} : it->second;
+  }
 
  private:
-  std::map<std::string, std::string> kv_;
+  std::map<std::string, std::vector<std::string>> kv_;
 };
+
+/// Flags shared by every command that builds a topology via the registry.
+const std::set<std::string> kBuildFlags{"in", "eps", "strict", "distributed", "seed",
+                                        "algo", "opt"};
+
+std::set<std::string> with_build_flags(std::set<std::string> extra) {
+  extra.insert(kBuildFlags.begin(), kBuildFlags.end());
+  return extra;
+}
 
 int usage() {
   std::fprintf(stderr,
                "usage: localspan_cli <gen|span|verify|route|trace|dynamic> [--flags]\n"
                "  gen     --n N --alpha A --dim D --seed S [--placement uniform|clustered|corridor]\n"
                "          [--policy always|never|prob|threshold] [--p P] --out FILE\n"
-               "  span    --in FILE --eps E [--strict] [--distributed] [--seed S]\n"
-               "          [--out-dot FILE] [--out-csv FILE]\n"
-               "  verify  --in FILE --eps E [--strict]\n"
-               "  route   --in FILE --eps E [--trials T] [--seed S]\n"
+               "  span    --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--strict]\n"
+               "          [--distributed] [--seed S] [--out-dot FILE] [--out-csv FILE]\n"
+               "  verify  --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--strict]\n"
+               "  route   --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--trials T] [--seed S]\n"
                "  trace   --in FILE --model poisson|waypoint|failure --out FILE[.ctb]\n"
                "          [--seed S] [--events K] [--rate R] [--join-frac F]     (poisson)\n"
                "          [--movers M] [--speed V] [--dt T] [--duration T]      (waypoint)\n"
                "          [--radius R] [--fail-time T] [--no-rejoin]            (failure)\n"
                "  dynamic --in FILE --trace FILE --eps E [--strict] [--check off|local|full]\n"
-               "          [--baseline-full] [--quiet] [--out-json FILE]\n");
+               "          [--baseline-full] [--linear-scan] [--quiet] [--out-json FILE]\n"
+               "run 'localspan_cli span --algo list' to enumerate registered algorithms\n");
   return 1;
 }
 
@@ -91,20 +133,70 @@ ubg::UbgInstance load(const Args& args) {
   return io::load_instance(path);
 }
 
-graph::Graph build_spanner(const ubg::UbgInstance& inst, const Args& args) {
+/// Print the registry enumeration (`--algo list`). The README algorithm
+/// table is generated from exactly this output.
+void print_algorithm_list() {
+  const api::AlgorithmRegistry& reg = api::registry();
+  std::printf("registered algorithms (%d):\n", reg.size());
+  for (const std::string& name : reg.names()) {
+    const api::AlgorithmInfo& info = reg.at(name).info();
+    std::string opts;
+    for (const api::OptionSpec& spec : info.options) {
+      if (!opts.empty()) opts += ' ';
+      opts += spec.key + "=" + spec.default_value;
+    }
+    if (opts.empty()) opts = "-";
+    std::string caps;
+    if (info.caps.dim2_only) caps += " dim2-only";
+    if (info.caps.needs_k) caps += " needs-k";
+    if (!info.caps.uses_params) caps += " ignores-params";
+    if (info.caps.randomized) caps += " seeded";
+    if (caps.empty()) caps = " -";
+    std::printf("  %-12s %s\n", name.c_str(), info.summary.c_str());
+    std::printf("  %-12s   options: %s | caps:%s | ref: %s\n", "", opts.c_str(), caps.c_str(),
+                info.reference.c_str());
+  }
+}
+
+/// Resolve --algo/--strict/--distributed/--opt into one registry build.
+/// `command_uses_seed` is set by commands that consume --seed themselves
+/// (route seeds its trials), so the flag is only a no-op — and rejected —
+/// when neither the command nor the algorithm reads it. Commands that
+/// discard the quality metrics (verify, route) pass measure=false to skip
+/// the superlinear measurement pass.
+api::BuildResult build_topology(const ubg::UbgInstance& inst, const Args& args,
+                                bool command_uses_seed = false, bool measure = true) {
+  std::string algo = args.get("algo", "relaxed");
+  if (args.has("distributed")) {
+    if (args.has("algo") && algo != "relaxed-dist") {
+      throw std::invalid_argument("--distributed conflicts with --algo " + algo);
+    }
+    algo = "relaxed-dist";
+  }
+  const api::Capabilities& caps = api::registry().at(algo).info().caps;
+  if (args.has("strict") && !caps.uses_params) {
+    throw std::invalid_argument("--strict has no effect: algorithm '" + algo +
+                                "' ignores params");
+  }
+  if (args.has("seed") && !caps.randomized && !command_uses_seed) {
+    throw std::invalid_argument("--seed has no effect: algorithm '" + algo +
+                                "' is deterministic");
+  }
   const double eps = args.get_double("eps", 0.5);
   const double alpha = inst.config.alpha;
   const core::Params params = args.has("strict") ? core::Params::strict_params(eps, alpha)
                                                  : core::Params::practical_params(eps, alpha);
-  if (args.has("distributed")) {
-    return core::distributed_relaxed_greedy(inst, params, {},
-                                            static_cast<std::uint64_t>(args.get_int("seed", 1)))
-        .base.spanner;
+  api::Options opts = api::Options::parse(args.get_all("opt"));
+  // Back-compat sugar: --seed feeds seeded algorithms unless --opt seed= given.
+  if (args.has("seed") && !opts.has("seed") && caps.randomized) {
+    opts.set("seed", args.get("seed", "1"));
   }
-  return core::relaxed_greedy(inst, params).spanner;
+  return api::registry().build(algo, api::BuildRequest{inst, params, std::move(opts)}, measure);
 }
 
 int cmd_gen(const Args& args) {
+  args.require_known("gen", {"n", "alpha", "dim", "seed", "target-degree", "placement", "policy",
+                             "p", "out"});
   ubg::UbgConfig cfg;
   cfg.n = args.get_int("n", 256);
   cfg.alpha = args.get_double("alpha", 0.75);
@@ -134,47 +226,85 @@ int cmd_gen(const Args& args) {
 }
 
 int cmd_span(const Args& args) {
+  args.require_known("span", with_build_flags({"out-dot", "out-csv"}));
+  if (args.get("algo", "") == "list") {
+    print_algorithm_list();
+    return 0;
+  }
   const ubg::UbgInstance inst = load(args);
-  const graph::Graph spanner = build_spanner(inst, args);
-  const double eps = args.get_double("eps", 0.5);
-  std::printf("spanner: %d -> %d edges, stretch %.4f (bound %.2f), maxdeg %d, lightness %.3f\n",
-              inst.g.m(), spanner.m(), graph::max_edge_stretch(inst.g, spanner), 1.0 + eps,
-              spanner.max_degree(), graph::lightness(inst.g, spanner));
+  const api::BuildResult result = build_topology(inst, args);
+  // Print a stretch bound only when the algorithm actually declares one —
+  // 1+eps is meaningless for, say, the MST row.
+  char bound[32] = "";
+  if (result.guarantees.stretch > 0.0) {
+    std::snprintf(bound, sizeof(bound), " (bound %.2f)", result.guarantees.stretch);
+  }
+  std::printf("spanner: %d -> %d edges, stretch %.4f%s, maxdeg %d, lightness %.3f, %.1f ms\n",
+              inst.g.m(), result.spanner.m(), result.metrics.stretch, bound,
+              result.metrics.max_degree, result.metrics.lightness, 1e3 * result.seconds);
+  std::printf("declared: %s\n", result.guarantees.describe().c_str());
+  const std::string violation = api::check_guarantees(inst, result);
+  if (!violation.empty()) {
+    std::fprintf(stderr, "declared-guarantee violation: %s\n", violation.c_str());
+    return 1;
+  }
   const std::string dot = args.get("out-dot", "");
   if (!dot.empty()) {
     std::ofstream os(dot);
-    io::write_dot(os, inst, inst.g, &spanner);
+    io::write_dot(os, inst, inst.g, &result.spanner);
     std::printf("wrote %s (render: neato -n2 -Tpng %s -o out.png)\n", dot.c_str(), dot.c_str());
   }
   const std::string csv = args.get("out-csv", "");
   if (!csv.empty()) {
     std::ofstream os(csv);
-    io::write_edge_csv(os, spanner);
+    io::write_edge_csv(os, result.spanner);
     std::printf("wrote %s\n", csv.c_str());
   }
   return 0;
 }
 
 int cmd_verify(const Args& args) {
+  args.require_known("verify", with_build_flags({}));
+  if (args.get("algo", "") == "list") {
+    print_algorithm_list();
+    return 0;
+  }
   const ubg::UbgInstance inst = load(args);
-  const graph::Graph spanner = build_spanner(inst, args);
+  const api::BuildResult result =
+      build_topology(inst, args, /*command_uses_seed=*/false, /*measure=*/false);
   const double eps = args.get_double("eps", 0.5);
-  const core::VerificationReport rep = core::verify_spanner(inst, spanner, 1.0 + eps);
+  // Transformed-metric algorithms (energy) must be verified against the same
+  // reweighted reference graph their guarantees and metrics are stated in.
+  const ubg::UbgInstance* verify_against = &inst;
+  ubg::UbgInstance ref_inst;
+  if (result.metric_reference) {
+    ref_inst = ubg::UbgInstance{inst.config, inst.points, *result.metric_reference};
+    verify_against = &ref_inst;
+    std::printf("verifying in the algorithm's transformed metric (reweighted reference)\n");
+  }
+  const core::VerificationReport rep =
+      core::verify_spanner(*verify_against, result.spanner, 1.0 + eps);
   std::printf("%s\n", rep.summary().c_str());
   return rep.ok() ? 0 : 1;
 }
 
 int cmd_route(const Args& args) {
+  args.require_known("route", with_build_flags({"trials"}));
+  if (args.get("algo", "") == "list") {
+    print_algorithm_list();
+    return 0;
+  }
   const ubg::UbgInstance inst = load(args);
   if (inst.config.dim != 2) {
     std::fprintf(stderr, "route: geometric routing demo expects dim=2\n");
     return 1;
   }
-  const graph::Graph spanner = build_spanner(inst, args);
+  const api::BuildResult result =
+      build_topology(inst, args, /*command_uses_seed=*/true, /*measure=*/false);
   const int trials = args.get_int("trials", 200);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   for (const auto& [name, topo] : {std::pair<const char*, const graph::Graph*>{"max power", &inst.g},
-                                   {"spanner", &spanner}}) {
+                                   {"spanner", &result.spanner}}) {
     const route::RoutingStats st =
         route::evaluate_routing(inst, *topo, route::Forwarding::kGreedy, trials, seed);
     std::printf("%-10s greedy routing: delivery %.1f%%, mean stretch %.3f, mean hops %.1f\n",
@@ -184,6 +314,9 @@ int cmd_route(const Args& args) {
 }
 
 int cmd_trace(const Args& args) {
+  args.require_known("trace", {"in", "model", "out", "seed", "events", "rate", "join-frac",
+                               "movers", "speed", "dt", "duration", "radius", "fail-time",
+                               "no-rejoin", "rejoin-time"});
   const ubg::UbgInstance inst = load(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string model = args.get("model", "poisson");
@@ -236,6 +369,8 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_dynamic(const Args& args) {
+  args.require_known("dynamic", {"in", "trace", "eps", "strict", "check", "baseline-full",
+                                 "quiet", "out-json", "linear-scan"});
   ubg::UbgInstance inst = load(args);
   const std::string trace_path = args.get("trace", "");
   if (trace_path.empty()) throw std::runtime_error("missing --trace FILE");
@@ -257,6 +392,7 @@ int cmd_dynamic(const Args& args) {
   else if (check == "local") opts.check = dynamic::CheckLevel::kLocal;
   else throw std::runtime_error("dynamic: --check must be off|local|full");
   opts.always_full_recompute = args.has("baseline-full");
+  opts.linear_scan_discovery = args.has("linear-scan");
   const bool quiet = args.has("quiet");
 
   dynamic::DynamicSpanner engine(std::move(inst), params, opts);
@@ -324,8 +460,8 @@ int cmd_dynamic(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const Args args(argc, argv, 2);
   try {
+    const Args args(argc, argv, 2);
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "span") return cmd_span(args);
     if (cmd == "verify") return cmd_verify(args);
