@@ -7,17 +7,31 @@
 /// with the pre-spatial-hash Ω(n) neighbor-discovery scan (the DynamicGrid
 /// before/after comparison), and once through the rebuild-from-scratch
 /// baseline. Reported: per-event wall time for all modes, the speedups,
-/// mean dirty-ball size (the locality the paper promises), and fallback
-/// count (0 = the locality argument held on every event).
+/// mean dirty-ball and certify-scope sizes (the locality the paper
+/// promises), and fallback count (0 = the locality argument held on every
+/// event).
 ///
-/// The baseline is timed on a prefix of the trace (full recomputes at
-/// n = 2048 cost ~1 s/event; the mean is stable after a few events) —
-/// `timed` in the table says how many events the baseline mean covers.
+/// The n=100000 row is the scale smoke leg for the epoch-stamped workspace:
+/// incremental repair only (scan and rebuild baselines are pointless at that
+/// size), proving per-event cost stays ball-sized when the network is 50x
+/// larger than the balls.
+///
+/// The meta block records `alloc_free_steady_state`: a counting-allocator
+/// probe (global operator new/delete override below) verifies that a
+/// warmed-up workspace search and a warmed-up local certify perform zero
+/// heap allocations — the property that makes repair cost O(|ball|) in
+/// memory traffic, not just in work.
+///
+/// The baseline is timed on a prefix of the trace (the mean is stable after
+/// a few events) — `timed` in the table says how many events the baseline
+/// mean covers.
 ///
 /// LOCALSPAN_BENCH_QUICK=1 trims sizes/events for CI smoke runs.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -25,9 +39,37 @@
 #include "core/params.hpp"
 #include "dynamic/churn.hpp"
 #include "dynamic/dynamic_spanner.hpp"
+#include "graph/sp_workspace.hpp"
 
 using namespace localspan;
 namespace bu = localspan::benchutil;
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every heap allocation in this binary bumps the
+// counter, so a window around a warmed-up hot path measures its true
+// allocation count (zero is the target).
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<long long> g_allocs{0};
+}  // namespace
+
+// The replacement operator new allocates with std::malloc, so operator
+// delete frees with std::free — GCC's new/delete-pair analysis cannot see
+// through the replacement and flags the (correct) pairing.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -38,15 +80,20 @@ struct CellResult {
   double scan_ms_per_event = 0.0;  ///< pre-spatial-hash Ω(n) scan baseline.
   double full_ms_per_event = 0.0;
   double mean_ball = 0.0;
+  double mean_scope = 0.0;  ///< mean certify touched-set size.
   int max_ball = 0;
   int fallbacks = 0;
+  bool baselines_ran = true;  ///< false on the scale smoke leg.
 };
 
 dynamic::ChurnTrace make_trace(const ubg::UbgInstance& inst, const std::string& model,
                                int events, std::uint64_t seed) {
   if (model == "waypoint") {
     dynamic::WaypointConfig cfg;
-    cfg.movers = std::max(2, inst.g.n() / 256);
+    // Cap movers at events/2 so duration >= 2 sample periods per mover —
+    // uncapped, large n drives duration below one sample_dt and the trace
+    // degenerates to zero events.
+    cfg.movers = std::max(2, std::min(events / 2, inst.g.n() / 256));
     cfg.speed = 0.25;
     cfg.sample_dt = 0.25;
     cfg.duration = cfg.sample_dt * events / cfg.movers;
@@ -60,25 +107,31 @@ dynamic::ChurnTrace make_trace(const ubg::UbgInstance& inst, const std::string& 
 }
 
 CellResult run_cell(const ubg::UbgInstance& inst, const core::Params& params,
-                    const dynamic::ChurnTrace& trace, std::size_t baseline_events) {
+                    const dynamic::ChurnTrace& trace, std::size_t baseline_events,
+                    bool incremental_only) {
   CellResult res;
   res.events = trace.events.size();
+  res.baselines_ran = !incremental_only;
 
   // Incremental mode, per-event certification on — the deployed config.
   {
     dynamic::DynamicSpanner engine(inst, params);
     double seconds = 0.0;
     long long balls = 0;
+    long long scopes = 0;
     for (const dynamic::RepairStats& st : engine.apply_all(trace)) {
       seconds += st.seconds;
       balls += st.ball_size;
+      scopes += st.certify_scope;
       res.max_ball = std::max(res.max_ball, st.ball_size);
       if (st.fell_back) ++res.fallbacks;
     }
     const auto count = static_cast<double>(std::max<std::size_t>(1, res.events));
     res.inc_ms_per_event = 1e3 * seconds / count;
     res.mean_ball = static_cast<double>(balls) / count;
+    res.mean_scope = static_cast<double>(scopes) / count;
   }
+  if (incremental_only) return res;
 
   // Incremental with the pre-spatial-hash Ω(n) neighbor-discovery scan — the
   // before/after comparison for the DynamicGrid optimization (same repair
@@ -109,42 +162,101 @@ CellResult run_cell(const ubg::UbgInstance& inst, const core::Params& params,
   return res;
 }
 
+/// Counting-allocator probe for the artifact's `alloc_free_steady_state`
+/// field: after warm-up, a bounded workspace search and a scoped certify
+/// must both allocate nothing.
+bool alloc_free_steady_state(const core::Params& params) {
+  const ubg::UbgInstance inst = bu::standard_instance(192, 0.75, 7);
+
+  // Workspace search: warm with the exact search that is counted (a
+  // different source could have a larger ball and legitimately grow the
+  // touched/heap buffers past the warm-up's high-water mark).
+  graph::DijkstraWorkspace ws(inst.g.n());
+  static_cast<void>(ws.bounded(inst.g, 1, 0.5));
+  const long long before_search = g_allocs.load();
+  static_cast<void>(ws.bounded(inst.g, 1, 0.5));
+  const long long search_allocs = g_allocs.load() - before_search;
+
+  // Local certify: warm the engine scratch with a trace, then count.
+  dynamic::DynamicSpanner engine(inst, params);
+  const dynamic::ChurnTrace trace = make_trace(inst, "poisson", 6, 7);
+  static_cast<void>(engine.apply_all(trace));
+  int live = 0;
+  while (live < engine.instance().g.n() && !engine.is_active(live)) ++live;
+  if (live == engine.instance().g.n()) {
+    std::printf("alloc probe: no live node after warm-up trace\n");
+    return false;
+  }
+  const std::vector<int> modified{live};  // outside the counting window
+  static_cast<void>(engine.certify(modified));
+  const long long before_certify = g_allocs.load();
+  const bool ok = engine.certify(modified);
+  const long long certify_allocs = g_allocs.load() - before_certify;
+
+  if (search_allocs != 0 || certify_allocs != 0) {
+    std::printf("alloc probe: search=%lld certify=%lld allocations after warm-up\n",
+                search_allocs, certify_allocs);
+  }
+  return ok && search_allocs == 0 && certify_allocs == 0;
+}
+
 }  // namespace
 
 int main() {
   const bool quick = std::getenv("LOCALSPAN_BENCH_QUICK") != nullptr;
   const std::vector<int> ns = quick ? std::vector<int>{192, 384}
-                                    : std::vector<int>{256, 1024, 2048};
+                                    : std::vector<int>{256, 1024, 2048, 16384};
+  const int scale_n = 100000;  ///< workspace scale leg, incremental only.
   const int events = quick ? 12 : 32;
+  const int scale_events = quick ? 6 : 16;
   const std::size_t baseline_events = quick ? 3 : 8;
   const double eps = 0.5;
   const double alpha = 0.75;
+
+  const core::Params params = core::Params::practical_params(eps, alpha);
 
   bu::JsonReport report("E15");
   report.meta("eps", eps);
   report.meta("alpha", alpha);
   report.meta("events", static_cast<long long>(events));
   report.meta("quick", std::string(quick ? "yes" : "no"));
+  report.meta("alloc_free_steady_state",
+              std::string(alloc_free_steady_state(params) ? "yes" : "no"));
 
   bu::Table table({"n", "model", "events", "inc ev/s", "inc ms/ev", "scan ms/ev", "disc speedup",
-                   "full ms/ev", "speedup", "mean |B|", "max |B|", "ball frac", "timed",
-                   "fallbacks"});
-  const core::Params params = core::Params::practical_params(eps, alpha);
+                   "full ms/ev", "speedup", "mean |B|", "max |B|", "mean scope", "ball frac",
+                   "timed", "fallbacks"});
+  const auto add_row = [&](int n, const char* model, const CellResult& res) {
+    const std::string na = "n/a";
+    table.add_row({bu::fmt_int(n), model, bu::fmt_int(static_cast<long long>(res.events)),
+                   bu::fmt(1e3 / std::max(res.inc_ms_per_event, 1e-9), 1),
+                   bu::fmt(res.inc_ms_per_event),
+                   res.baselines_ran ? bu::fmt(res.scan_ms_per_event) : na,
+                   res.baselines_ran
+                       ? bu::fmt(res.scan_ms_per_event / std::max(res.inc_ms_per_event, 1e-9), 2)
+                       : na,
+                   res.baselines_ran ? bu::fmt(res.full_ms_per_event) : na,
+                   res.baselines_ran
+                       ? bu::fmt(res.full_ms_per_event / std::max(res.inc_ms_per_event, 1e-9), 2)
+                       : na,
+                   bu::fmt(res.mean_ball, 1), bu::fmt_int(res.max_ball),
+                   bu::fmt(res.mean_scope, 1), bu::fmt(res.mean_ball / n),
+                   bu::fmt_int(static_cast<long long>(res.baseline_timed)),
+                   bu::fmt_int(res.fallbacks)});
+  };
   for (int n : ns) {
     const ubg::UbgInstance inst = bu::standard_instance(n, alpha, 7);
     for (const char* model : {"poisson", "waypoint"}) {
       const dynamic::ChurnTrace trace = make_trace(inst, model, events, 7);
-      const CellResult res = run_cell(inst, params, trace, baseline_events);
-      table.add_row({bu::fmt_int(n), model, bu::fmt_int(static_cast<long long>(res.events)),
-                     bu::fmt(1e3 / std::max(res.inc_ms_per_event, 1e-9), 1),
-                     bu::fmt(res.inc_ms_per_event), bu::fmt(res.scan_ms_per_event),
-                     bu::fmt(res.scan_ms_per_event / std::max(res.inc_ms_per_event, 1e-9), 2),
-                     bu::fmt(res.full_ms_per_event),
-                     bu::fmt(res.full_ms_per_event / std::max(res.inc_ms_per_event, 1e-9), 2),
-                     bu::fmt(res.mean_ball, 1), bu::fmt_int(res.max_ball),
-                     bu::fmt(res.mean_ball / n), bu::fmt_int(static_cast<long long>(res.baseline_timed)),
-                     bu::fmt_int(res.fallbacks)});
+      add_row(n, model, run_cell(inst, params, trace, baseline_events, false));
     }
+  }
+  {
+    // Scale smoke leg: 10^5 nodes, incremental repair only. The point is the
+    // per-event cost staying ball-sized, not another rebuild race.
+    const ubg::UbgInstance inst = bu::standard_instance(scale_n, alpha, 7);
+    const dynamic::ChurnTrace trace = make_trace(inst, "poisson", scale_events, 7);
+    add_row(scale_n, "poisson", run_cell(inst, params, trace, 0, true));
   }
   report.print("E15: incremental repair vs full recompute under churn", table);
   return report.write() ? 0 : 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/dijkstra.hpp"
 
@@ -9,6 +10,12 @@ namespace localspan::cluster {
 
 ClusterGraph build_cluster_graph(const graph::Graph& gp, const ClusterCover& cover,
                                  double w_prev) {
+  graph::DijkstraWorkspace ws(gp.n());
+  return build_cluster_graph(graph::CsrView(gp), cover, w_prev, ws);
+}
+
+ClusterGraph build_cluster_graph(const graph::CsrView& gp, const ClusterCover& cover,
+                                 double w_prev, graph::DijkstraWorkspace& ws) {
   if (w_prev <= 0.0) throw std::invalid_argument("build_cluster_graph: w_prev must be positive");
   const int n = gp.n();
   ClusterGraph cg{graph::Graph(n), 0, 0, 0, 0.0};
@@ -22,60 +29,77 @@ ClusterGraph build_cluster_graph(const graph::Graph& gp, const ClusterCover& cov
   }
 
   // Inter-cluster edges. One bounded Dijkstra per center (radius (2δ+1)W per
-  // Lemma 5) serves both membership conditions.
+  // Lemma 5) serves both membership conditions; the per-center sweeps walk
+  // the settled ball and the center's member list, never all of V.
   const double reach = (2.0 * cover.radius / w_prev + 1.0) * w_prev + 1e-12;
+  const std::vector<std::vector<int>> members = cover.members();
   std::vector<int> inter_degree(static_cast<std::size_t>(n), 0);
+  const auto add_inter = [&](int a, int b, double d) {
+    if (cg.h.add_edge(a, b, d)) {
+      ++cg.inter_edges;
+      ++inter_degree[static_cast<std::size_t>(a)];
+      ++inter_degree[static_cast<std::size_t>(b)];
+      cg.max_inter_weight = std::max(cg.max_inter_weight, d);
+    }
+  };
+  // Crossing edges whose sp(a,b) exceeded `reach` (phase-0 clique edges
+  // escape the paper's premise) retry with a wider bound after the view is
+  // released — see below.
+  struct Retry {
+    int a, b;
+    double bound;
+  };
+  std::vector<Retry> retries;
   for (int a : cover.centers) {
-    const graph::ShortestPaths sp = graph::dijkstra_bounded(gp, a, reach);
+    const graph::SpView sp = ws.bounded(gp, a, reach);
 
     // Condition (i): centers b with sp(a,b) <= W_{i-1}.
-    for (int b : cover.centers) {
-      if (b <= a) continue;
-      const double d = sp.dist[static_cast<std::size_t>(b)];
-      if (d <= w_prev) {
-        if (cg.h.add_edge(a, b, d)) {
-          ++cg.inter_edges;
-          ++inter_degree[static_cast<std::size_t>(a)];
-          ++inter_degree[static_cast<std::size_t>(b)];
-          cg.max_inter_weight = std::max(cg.max_inter_weight, d);
-        }
-      }
+    for (int v : sp.touched()) {
+      if (v <= a || cover.center_of[static_cast<std::size_t>(v)] != v) continue;
+      const double d = sp.dist(v);
+      if (d <= w_prev) add_inter(a, v, d);
     }
 
     // Condition (ii): an edge {u,v} of G' crosses C_a and C_b. Scan edges of
-    // members of a's cluster; by Lemma 5, sp(a,b) is within `reach`.
-    for (int u = 0; u < n; ++u) {
-      if (cover.center_of[static_cast<std::size_t>(u)] != a) continue;
+    // a's members; by Lemma 5, sp(a,b) is within `reach`.
+    for (int u : members[static_cast<std::size_t>(a)]) {
       for (const graph::Neighbor& nb : gp.neighbors(u)) {
         const int b = cover.center_of[static_cast<std::size_t>(nb.to)];
         if (b == a || b < a) continue;  // each unordered center pair once, from min center
         if (cg.h.has_edge(a, b)) continue;
-        double d = sp.dist[static_cast<std::size_t>(b)];
+        const double d = sp.dist(b);
         if (d == graph::kInf) {
-          // The crossing edge may be longer than W_{i-1} (phase-0 clique
-          // edges escape the paper's premise); the cover still guarantees
-          // sp(a,b) <= radius + w(u,v) + radius, so a bounded retry always
-          // succeeds and H keeps the Lemma 7 approximation quality.
-          d = graph::sp_distance(gp, a, b, 2.0 * cover.radius + nb.w + 1e-9);
-          if (d == graph::kInf) continue;  // unreachable for a valid cover
+          // The cover still guarantees sp(a,b) <= radius + w(u,v) + radius,
+          // so a bounded retry always succeeds and H keeps the Lemma 7
+          // approximation quality. Deferred: the retry reuses the workspace,
+          // which would invalidate the view this loop is reading.
+          retries.push_back({a, b, 2.0 * cover.radius + nb.w + 1e-9});
+          continue;
         }
-        if (cg.h.add_edge(a, b, d)) {
-          ++cg.inter_edges;
-          ++inter_degree[static_cast<std::size_t>(a)];
-          ++inter_degree[static_cast<std::size_t>(b)];
-          cg.max_inter_weight = std::max(cg.max_inter_weight, d);
-        }
+        add_inter(a, b, d);
       }
     }
+  }
+  for (const Retry& r : retries) {
+    if (cg.h.has_edge(r.a, r.b)) continue;
+    const double d = ws.distance(gp, r.a, r.b, r.bound);
+    if (d == graph::kInf) continue;  // unreachable for a valid cover
+    add_inter(r.a, r.b, d);
   }
   cg.max_inter_degree = *std::max_element(inter_degree.begin(), inter_degree.end());
   return cg;
 }
 
 double query_on_h(const graph::Graph& h, int x, int y, double bound, int* hops_out) {
-  const graph::ShortestPaths sp = graph::dijkstra_bounded(h, x, bound);
-  const double d = sp.dist[static_cast<std::size_t>(y)];
-  if (hops_out != nullptr) *hops_out = d == graph::kInf ? -1 : graph::path_hops(sp, y);
+  graph::DijkstraWorkspace ws(h.n());
+  return query_on_h(ws, h, x, y, bound, hops_out);
+}
+
+double query_on_h(graph::DijkstraWorkspace& ws, const graph::Graph& h, int x, int y, double bound,
+                  int* hops_out) {
+  const graph::SpView sp = ws.bounded_to(h, x, y, bound);
+  const double d = sp.dist(y);
+  if (hops_out != nullptr) *hops_out = sp.path_hops(y);
   return d;
 }
 

@@ -13,6 +13,7 @@
 
 #include "cluster/cover.hpp"
 #include "graph/graph.hpp"
+#include "graph/sp_workspace.hpp"
 
 namespace localspan::cluster {
 
@@ -30,11 +31,23 @@ struct ClusterGraph {
 [[nodiscard]] ClusterGraph build_cluster_graph(const graph::Graph& gp, const ClusterCover& cover,
                                                double w_prev);
 
+/// Output-sensitive variant on a frozen CSR snapshot with a caller-owned
+/// workspace: per-center sweeps walk the settled ball (via the SpView
+/// touched list) and the precomputed member lists instead of scanning all n
+/// vertices per center. Produces the identical cluster graph.
+[[nodiscard]] ClusterGraph build_cluster_graph(const graph::CsrView& gp, const ClusterCover& cover,
+                                               double w_prev, graph::DijkstraWorkspace& ws);
+
 /// Answer one §2.2.4 query on H: sp_H(x, y) truncated at `bound`
 /// (returns kInf if it exceeds the bound). If `hops_out` is non-null it
 /// receives the hop count of the found path (-1 when none), validating
 /// Lemma 8's O(1)-hop claim.
 [[nodiscard]] double query_on_h(const graph::Graph& h, int x, int y, double bound,
                                 int* hops_out = nullptr);
+
+/// Workspace-backed overload for hot loops (one early-exit bounded search,
+/// zero allocation once the workspace is warm).
+[[nodiscard]] double query_on_h(graph::DijkstraWorkspace& ws, const graph::Graph& h, int x, int y,
+                                double bound, int* hops_out = nullptr);
 
 }  // namespace localspan::cluster

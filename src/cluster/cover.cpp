@@ -16,6 +16,12 @@ std::vector<std::vector<int>> ClusterCover::members() const {
 }
 
 ClusterCover sequential_cover(const graph::Graph& gp, double radius) {
+  graph::DijkstraWorkspace ws(gp.n());
+  return sequential_cover(graph::CsrView(gp), radius, ws);
+}
+
+ClusterCover sequential_cover(const graph::CsrView& gp, double radius,
+                              graph::DijkstraWorkspace& ws) {
   if (radius < 0.0) throw std::invalid_argument("sequential_cover: negative radius");
   const int n = gp.n();
   ClusterCover cover;
@@ -24,14 +30,14 @@ ClusterCover sequential_cover(const graph::Graph& gp, double radius) {
   cover.dist_to_center.assign(static_cast<std::size_t>(n), graph::kInf);
   for (int u = 0; u < n; ++u) {
     if (cover.center_of[static_cast<std::size_t>(u)] != -1) continue;
-    const graph::ShortestPaths sp = graph::dijkstra_bounded(gp, u, radius);
+    const graph::SpView sp = ws.bounded(gp, u, radius);
     cover.centers.push_back(u);
-    for (int v = 0; v < n; ++v) {
+    // Every settled vertex is within `radius`; absorb the still-uncovered
+    // ones. Walking the touched list keeps the sweep O(|ball|), not O(n).
+    for (int v : sp.touched()) {
       if (cover.center_of[static_cast<std::size_t>(v)] != -1) continue;
-      if (sp.dist[static_cast<std::size_t>(v)] <= radius) {
-        cover.center_of[static_cast<std::size_t>(v)] = u;
-        cover.dist_to_center[static_cast<std::size_t>(v)] = sp.dist[static_cast<std::size_t>(v)];
-      }
+      cover.center_of[static_cast<std::size_t>(v)] = u;
+      cover.dist_to_center[static_cast<std::size_t>(v)] = sp.dist(v);
     }
   }
   return cover;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/sp_workspace.hpp"
 
 namespace localspan::cluster {
 
@@ -36,6 +37,14 @@ struct ClusterCover {
 /// uncovered vertex becomes a center and absorbs every uncovered vertex
 /// within shortest-path distance `radius` in gp (bounded Dijkstra).
 [[nodiscard]] ClusterCover sequential_cover(const graph::Graph& gp, double radius);
+
+/// Output-sensitive variant on a frozen CSR snapshot with a caller-owned
+/// workspace: each center's absorption sweep walks only the ball the bounded
+/// search settled (O(Σ|ball| log |ball|) total instead of O(n · centers)),
+/// and the workspace is reused across centers (and phases) so the steady
+/// state allocates nothing. Produces the identical cover.
+[[nodiscard]] ClusterCover sequential_cover(const graph::CsrView& gp, double radius,
+                                            graph::DijkstraWorkspace& ws);
 
 /// MIS-based construction (§3.2.1): build the proximity graph J on V with
 /// {x,y} ∈ J iff sp_gp(x,y) <= radius; an MIS of J (computed by `mis`, which

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "graph/dijkstra.hpp"
+#include "graph/sp_workspace.hpp"
 
 namespace localspan::core {
 
@@ -15,9 +16,10 @@ graph::Graph seq_greedy(const graph::Graph& g, double t) {
     return a.u != b.u ? a.u < b.u : a.v < b.v;
   });
   graph::Graph out(g.n());
+  graph::DijkstraWorkspace ws(g.n());  // one workspace across all m queries
   for (const graph::Edge& e : es) {
     const double bound = t * e.w;
-    if (graph::sp_distance(out, e.u, e.v, bound) > bound) out.add_edge(e.u, e.v, e.w);
+    if (ws.distance(out, e.u, e.v, bound) > bound) out.add_edge(e.u, e.v, e.w);
   }
   return out;
 }
@@ -46,9 +48,10 @@ std::vector<graph::Edge> seq_greedy_clique(const std::vector<int>& members,
     return x.a != y.a ? x.a < y.a : x.b < y.b;
   });
   std::vector<graph::Edge> chosen;
+  graph::DijkstraWorkspace ws(k);
   for (const LocalEdge& e : es) {
     const double bound = t * e.w;
-    if (graph::sp_distance(local, e.a, e.b, bound) > bound) {
+    if (ws.distance(local, e.a, e.b, bound) > bound) {
       local.add_edge(e.a, e.b, e.w);
       const int gu = members[static_cast<std::size_t>(e.a)];
       const int gv = members[static_cast<std::size_t>(e.b)];

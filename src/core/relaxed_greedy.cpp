@@ -78,12 +78,19 @@ std::vector<PhaseEdge> select_query_edges(const std::vector<PhaseEdge>& candidat
 
 std::vector<PhaseEdge> answer_queries(const graph::Graph& h, const std::vector<PhaseEdge>& queries,
                                       double t, int* max_hops) {
+  graph::DijkstraWorkspace ws(h.n());
+  return answer_queries(ws, h, queries, t, max_hops);
+}
+
+std::vector<PhaseEdge> answer_queries(graph::DijkstraWorkspace& ws, const graph::Graph& h,
+                                      const std::vector<PhaseEdge>& queries, double t,
+                                      int* max_hops) {
   std::vector<PhaseEdge> to_add;
   int worst_hops = 0;
   for (const PhaseEdge& q : queries) {
     const double bound = t * q.w;
     int hops = -1;
-    const double d = cluster::query_on_h(h, q.u, q.v, bound, &hops);
+    const double d = cluster::query_on_h(ws, h, q.u, q.v, bound, &hops);
     if (d <= bound) {
       worst_hops = std::max(worst_hops, hops);  // answered positively on H
     } else {
@@ -94,45 +101,94 @@ std::vector<PhaseEdge> answer_queries(const graph::Graph& h, const std::vector<P
   return to_add;
 }
 
-namespace {
-
-/// Bounded sp_H from every distinct endpoint of `added`, for redundancy tests.
-std::unordered_map<int, graph::ShortestPaths> endpoint_balls(const graph::Graph& h,
-                                                             const std::vector<PhaseEdge>& added,
-                                                             double bound) {
-  std::unordered_map<int, graph::ShortestPaths> balls;
-  for (const PhaseEdge& e : added) {
-    for (int p : {e.u, e.v}) {
-      if (!balls.contains(p)) balls.emplace(p, graph::dijkstra_bounded(h, p, bound));
-    }
-  }
-  return balls;
-}
-
-}  // namespace
-
 graph::Graph redundancy_conflict_graph(const graph::Graph& h, const std::vector<PhaseEdge>& added,
                                        double t1) {
+  graph::DijkstraWorkspace ws(h.n());
+  return redundancy_conflict_graph(ws, h, added, t1);
+}
+
+graph::Graph redundancy_conflict_graph(graph::DijkstraWorkspace& ws, const graph::Graph& h,
+                                       const std::vector<PhaseEdge>& added, double t1) {
   const int k = static_cast<int>(added.size());
   graph::Graph j(k);
   if (k < 2) return j;
   double max_w = 0.0;
   for (const PhaseEdge& e : added) max_w = std::max(max_w, e.w);
-  const auto balls = endpoint_balls(h, added, t1 * max_w);
-  const auto dist = [&](int a, int b) {
-    return balls.at(a).dist[static_cast<std::size_t>(b)];
-  };
+  const double bound = t1 * max_w;
+
+  // Index the distinct endpoints of `added` and the edges incident to each.
+  std::vector<int> index_of(static_cast<std::size_t>(h.n()), -1);
+  std::vector<int> endpoints;
+  for (const PhaseEdge& e : added) {
+    for (int p : {e.u, e.v}) {
+      if (index_of[static_cast<std::size_t>(p)] == -1) {
+        index_of[static_cast<std::size_t>(p)] = static_cast<int>(endpoints.size());
+        endpoints.push_back(p);
+      }
+    }
+  }
+  const int ne = static_cast<int>(endpoints.size());
+  std::vector<std::vector<int>> edges_of(static_cast<std::size_t>(ne));
   for (int a = 0; a < k; ++a) {
-    for (int b = a + 1; b < k; ++b) {
-      const PhaseEdge& e = added[static_cast<std::size_t>(a)];
-      const PhaseEdge& f = added[static_cast<std::size_t>(b)];
-      // Conditions (i)+(ii) of §2.2.5, tried under both endpoint pairings
-      // (sp is symmetric, so each pairing shares one connection sum S).
-      const double s1 = dist(e.u, f.u) + dist(e.v, f.v);
-      const double s2 = dist(e.u, f.v) + dist(e.v, f.u);
-      const bool pairing1 = s1 + f.w <= t1 * e.w && s1 + e.w <= t1 * f.w;
-      const bool pairing2 = s2 + f.w <= t1 * e.w && s2 + e.w <= t1 * f.w;
-      if (pairing1 || pairing2) j.add_edge(a, b, 1.0);
+    edges_of[static_cast<std::size_t>(index_of[static_cast<std::size_t>(added[static_cast<std::size_t>(a)].u)])].push_back(a);
+    edges_of[static_cast<std::size_t>(index_of[static_cast<std::size_t>(added[static_cast<std::size_t>(a)].v)])].push_back(a);
+  }
+
+  // One bounded search per endpoint, kept *sparse*: only distances to other
+  // endpoints survive (harvested from the touched list, so each row costs
+  // O(|ball|), not O(k) — and nothing is O(n)).
+  std::vector<std::vector<std::pair<int, double>>> rows(static_cast<std::size_t>(ne));
+  for (int r = 0; r < ne; ++r) {
+    const graph::SpView sp = ws.bounded(h, endpoints[static_cast<std::size_t>(r)], bound);
+    for (int v : sp.touched()) {
+      const int q = index_of[static_cast<std::size_t>(v)];
+      if (q != -1) rows[static_cast<std::size_t>(r)].push_back({q, sp.dist(v)});
+    }
+  }
+
+  // Enumerate only pairs that can possibly conflict. Both §2.2.5 pairings
+  // need sp(e.u, f.u) or sp(e.u, f.v) finite within the bound, so every
+  // conflict partner of edge a = {e.u, e.v} has an endpoint in e.u's row —
+  // the all-pairs O(k^2) sweep becomes output-sensitive in the ball sizes.
+  std::vector<double> du(static_cast<std::size_t>(ne)), dv(static_cast<std::size_t>(ne));
+  std::vector<int> du_stamp(static_cast<std::size_t>(ne), -1);
+  std::vector<int> dv_stamp(static_cast<std::size_t>(ne), -1);
+  std::vector<int> seen(static_cast<std::size_t>(k), -1);
+  for (int a = 0; a < k; ++a) {
+    const PhaseEdge& e = added[static_cast<std::size_t>(a)];
+    const int ru = index_of[static_cast<std::size_t>(e.u)];
+    const int rv = index_of[static_cast<std::size_t>(e.v)];
+    for (const auto& [q, d] : rows[static_cast<std::size_t>(ru)]) {
+      du[static_cast<std::size_t>(q)] = d;
+      du_stamp[static_cast<std::size_t>(q)] = a;
+    }
+    for (const auto& [q, d] : rows[static_cast<std::size_t>(rv)]) {
+      dv[static_cast<std::size_t>(q)] = d;
+      dv_stamp[static_cast<std::size_t>(q)] = a;
+    }
+    const auto d_from_u = [&](int q) {
+      return du_stamp[static_cast<std::size_t>(q)] == a ? du[static_cast<std::size_t>(q)]
+                                                        : graph::kInf;
+    };
+    const auto d_from_v = [&](int q) {
+      return dv_stamp[static_cast<std::size_t>(q)] == a ? dv[static_cast<std::size_t>(q)]
+                                                        : graph::kInf;
+    };
+    for (const auto& [q, dq] : rows[static_cast<std::size_t>(ru)]) {
+      for (int b : edges_of[static_cast<std::size_t>(q)]) {
+        if (b <= a || seen[static_cast<std::size_t>(b)] == a) continue;
+        seen[static_cast<std::size_t>(b)] = a;
+        const PhaseEdge& f = added[static_cast<std::size_t>(b)];
+        const int fu = index_of[static_cast<std::size_t>(f.u)];
+        const int fv = index_of[static_cast<std::size_t>(f.v)];
+        // Conditions (i)+(ii) of §2.2.5, tried under both endpoint pairings
+        // (sp is symmetric, so each pairing shares one connection sum S).
+        const double s1 = d_from_u(fu) + d_from_v(fv);
+        const double s2 = d_from_u(fv) + d_from_v(fu);
+        const bool pairing1 = s1 + f.w <= t1 * e.w && s1 + e.w <= t1 * f.w;
+        const bool pairing2 = s2 + f.w <= t1 * e.w && s2 + e.w <= t1 * f.w;
+        if (pairing1 || pairing2) j.add_edge(a, b, 1.0);
+      }
     }
   }
   return j;
@@ -141,7 +197,14 @@ graph::Graph redundancy_conflict_graph(const graph::Graph& h, const std::vector<
 std::vector<int> redundant_edge_removal(
     const graph::Graph& h, const std::vector<PhaseEdge>& added, double t1,
     const std::function<std::vector<int>(const graph::Graph&)>& mis) {
-  const graph::Graph j = redundancy_conflict_graph(h, added, t1);
+  graph::DijkstraWorkspace ws(h.n());
+  return redundant_edge_removal(ws, h, added, t1, mis);
+}
+
+std::vector<int> redundant_edge_removal(
+    graph::DijkstraWorkspace& ws, const graph::Graph& h, const std::vector<PhaseEdge>& added,
+    double t1, const std::function<std::vector<int>(const graph::Graph&)>& mis) {
+  const graph::Graph j = redundancy_conflict_graph(ws, h, added, t1);
   if (j.m() == 0) return {};
   const std::vector<int> keep = mis(j);
   std::vector<char> kept(static_cast<std::size_t>(j.n()), 0);
@@ -247,6 +310,14 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
 
   const auto mis_fn = [](const graph::Graph& j) { return mis::greedy_mis(j); };
 
+  // Shortest-path scratch for the whole run: one workspace (caller-owned
+  // when opts.workspace is set, so repeated runs reuse the same buffers) and
+  // one CSR snapshot of G'_{i-1} per phase for the read-heavy cover/cluster
+  // passes.
+  graph::DijkstraWorkspace run_ws;
+  graph::DijkstraWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : run_ws;
+  graph::CsrView csr;
+
   // Phases i >= 1, skipping empty bins (recomputation is from G' alone, so
   // skipping is a pure optimization).
   for (int i = 1; i < static_cast<int>(bins.size()); ++i) {
@@ -263,8 +334,9 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
     const double w_prev = transform(schema.W(i - 1));
     const double radius = params.delta * w_prev;
 
-    // (i) cluster cover of G'_{i-1}.
-    const cluster::ClusterCover cover = cluster::sequential_cover(result.spanner, radius);
+    // (i) cluster cover of G'_{i-1}, on a frozen CSR snapshot of it.
+    csr.assign(result.spanner);
+    const cluster::ClusterCover cover = cluster::sequential_cover(csr, radius, ws);
     st.clusters = static_cast<int>(cover.centers.size());
 
     // (ii) covered-edge filter + candidate selection.
@@ -288,21 +360,21 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
         detail::select_query_edges(candidates, cover, params.t, &st.max_query_edges_per_cluster);
     st.queries = static_cast<int>(queries.size());
 
-    // (iii) cluster graph of G'_{i-1}.
-    const cluster::ClusterGraph cg = cluster::build_cluster_graph(result.spanner, cover, w_prev);
+    // (iii) cluster graph of G'_{i-1} (same snapshot as the cover).
+    const cluster::ClusterGraph cg = cluster::build_cluster_graph(csr, cover, w_prev, ws);
     st.max_inter_degree = cg.max_inter_degree;
     st.max_inter_weight = cg.max_inter_weight;
 
     // (iv) shortest-path queries on H (lazy update: all answered before adds).
     const std::vector<PhaseEdge> to_add =
-        detail::answer_queries(cg.h, queries, params.t, &st.max_query_hops);
+        detail::answer_queries(ws, cg.h, queries, params.t, &st.max_query_hops);
     for (const PhaseEdge& e : to_add) result.spanner.add_edge(e.u, e.v, e.w);
     st.added = static_cast<int>(to_add.size());
 
     // (v) redundant edge removal.
     if (opts.redundancy_removal && to_add.size() >= 2) {
       const std::vector<int> removal =
-          detail::redundant_edge_removal(cg.h, to_add, params.t1, mis_fn);
+          detail::redundant_edge_removal(ws, cg.h, to_add, params.t1, mis_fn);
       for (int idx : removal) {
         const PhaseEdge& e = to_add[static_cast<std::size_t>(idx)];
         result.spanner.remove_edge(e.u, e.v);

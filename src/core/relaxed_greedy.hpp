@@ -69,6 +69,14 @@ struct RelaxedGreedyOptions {
   /// which preserves the spanner property since the clique edges are a
   /// superset). Never triggered by the paper-style workloads.
   int phase0_clique_cap = 512;
+
+  /// Optional caller-owned shortest-path workspace, reused for every bounded
+  /// search the run performs (covers, cluster graphs, queries, redundancy
+  /// balls). Long-lived engines that invoke relaxed_greedy repeatedly — the
+  /// dynamic repair path above all — share one workspace across calls so the
+  /// steady state stops allocating scratch. Null => a run-local workspace.
+  /// Non-owning; must outlive every relaxed_greedy call it is passed to.
+  graph::DijkstraWorkspace* workspace = nullptr;
 };
 
 /// Outcome of a (sequential or distributed) run.
@@ -119,6 +127,13 @@ struct PhaseEdge {
                                                     const std::vector<PhaseEdge>& queries,
                                                     double t, int* max_hops);
 
+/// Workspace-backed overload: one early-exit bounded search per query, no
+/// per-query allocation once the workspace is warm.
+[[nodiscard]] std::vector<PhaseEdge> answer_queries(graph::DijkstraWorkspace& ws,
+                                                    const graph::Graph& h,
+                                                    const std::vector<PhaseEdge>& queries,
+                                                    double t, int* max_hops);
+
 /// §2.2.5: find mutually redundant pairs among `added`, build the conflict
 /// graph J (one node per edge participating in >= 1 pair), run `mis` on it
 /// and return the indices (into `added`) of edges to REMOVE (non-MIS nodes).
@@ -126,9 +141,18 @@ struct PhaseEdge {
     const graph::Graph& h, const std::vector<PhaseEdge>& added, double t1,
     const std::function<std::vector<int>(const graph::Graph&)>& mis);
 
+[[nodiscard]] std::vector<int> redundant_edge_removal(
+    graph::DijkstraWorkspace& ws, const graph::Graph& h, const std::vector<PhaseEdge>& added,
+    double t1, const std::function<std::vector<int>(const graph::Graph&)>& mis);
+
 /// The conflict graph J of §2.2.5 alone (for Lemma 20 doubling-dimension
 /// experiments): node k = added[k]; edges connect mutually redundant pairs.
 [[nodiscard]] graph::Graph redundancy_conflict_graph(const graph::Graph& h,
+                                                     const std::vector<PhaseEdge>& added,
+                                                     double t1);
+
+[[nodiscard]] graph::Graph redundancy_conflict_graph(graph::DijkstraWorkspace& ws,
+                                                     const graph::Graph& h,
                                                      const std::vector<PhaseEdge>& added,
                                                      double t1);
 

@@ -18,6 +18,15 @@ void sort_unique(std::vector<int>& v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
 }
 
+/// Adapts the (optional) user-supplied std::function weight transform to the
+/// workspace's template parameter. Only constructed when a transform is
+/// actually configured, so the identity path keeps a direct-load relaxation
+/// loop with no per-edge indirect call.
+struct TransformRef {
+  const std::function<double(double)>* fn;
+  double operator()(double w) const { return (*fn)(w); }
+};
+
 }  // namespace
 
 DynamicSpanner::DynamicSpanner(ubg::UbgInstance inst, const core::Params& params,
@@ -58,6 +67,10 @@ DynamicSpanner::DynamicSpanner(ubg::UbgInstance inst, const core::Params& params
   scratch_local_id_.assign(static_cast<std::size_t>(inst_.g.n()), -1);
   scratch_in_core_.assign(static_cast<std::size_t>(inst_.g.n()), 0);
   scratch_in_scope_.assign(static_cast<std::size_t>(inst_.g.n()), 0);
+  // Every relaxed_greedy run (local repairs and full recomputes) shares one
+  // workspace so the steady state reuses its buffers, unless the caller
+  // supplied a workspace of their own.
+  if (opts_.greedy.workspace == nullptr) opts_.greedy.workspace = &greedy_ws_;
   full_recompute();
 }
 
@@ -192,20 +205,23 @@ std::vector<int> DynamicSpanner::update_ubg(const ChurnEvent& ev, RepairStats* s
 void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
                             std::vector<int>* modified) {
   const std::function<double(double)>& tf = opts_.greedy.weight_transform;
-  const graph::ShortestPaths sp =
-      graph::dijkstra_multi_bounded(inst_.g, touched, ball_radius_, tf);
+  const graph::SpView sp =
+      tf ? ws_.multi_bounded(inst_.g, touched, ball_radius_, TransformRef{&tf})
+         : ws_.multi_bounded(inst_.g, touched, ball_radius_);
 
   // Scratch reuse: local_id/in_core are event-clean members (-1/0 outside
-  // the previous ball, reset below before returning).
-  std::vector<int> ball;
+  // the previous ball, reset below before returning). The ball is exactly
+  // the search's touched list — every settled vertex is within the radius —
+  // sorted so local ids (and with them the local rerun) stay deterministic.
+  std::vector<int>& ball = scratch_ball_;
+  ball.assign(sp.touched().begin(), sp.touched().end());
+  std::sort(ball.begin(), ball.end());
   std::vector<int>& local_id = scratch_local_id_;
   std::vector<char>& in_core = scratch_in_core_;
-  for (int v = 0; v < inst_.g.n(); ++v) {
-    const double d = sp.dist[static_cast<std::size_t>(v)];
-    if (d > ball_radius_) continue;
-    local_id[static_cast<std::size_t>(v)] = static_cast<int>(ball.size());
-    ball.push_back(v);
-    if (d <= core_radius_) {
+  for (std::size_t i = 0; i < ball.size(); ++i) {
+    const int v = ball[i];
+    local_id[static_cast<std::size_t>(v)] = static_cast<int>(i);
+    if (sp.dist(v) <= core_radius_) {
       in_core[static_cast<std::size_t>(v)] = 1;
       ++st->core_size;
     }
@@ -264,24 +280,29 @@ void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
   }
 }
 
-bool DynamicSpanner::certify(const std::vector<int>& modified) const {
+bool DynamicSpanner::certify(const std::vector<int>& modified, int* scope_size_out) const {
   const std::function<double(double)>& tf = opts_.greedy.weight_transform;
   const double scope_radius = witness_bound_ + wmax_;
   // Scratch reuse: in_scope is an event-clean member (all-0 between calls);
   // scoped_ records the entries to reset. An empty `modified` means "certify
-  // everything" without materializing the flag array.
+  // everything" without materializing the flag array. The disturbed scope
+  // is the workspace search's touched list — the per-event cost is
+  // O(|scope|), never an all-n walk — and every buffer below is reused, so
+  // a warmed-up local certify allocates nothing.
   const bool full_scope = modified.empty();
   std::vector<char>& in_scope = scratch_in_scope_;
   scratch_scoped_.clear();
   if (!full_scope) {
-    const graph::ShortestPaths sp =
-        graph::dijkstra_multi_bounded(inst_.g, modified, scope_radius, tf);
-    for (int v = 0; v < inst_.g.n(); ++v) {
-      if (sp.dist[static_cast<std::size_t>(v)] <= scope_radius) {
-        in_scope[static_cast<std::size_t>(v)] = 1;
-        scratch_scoped_.push_back(v);
-      }
+    const graph::SpView sp =
+        tf ? ws_.multi_bounded(inst_.g, modified, scope_radius, TransformRef{&tf})
+           : ws_.multi_bounded(inst_.g, modified, scope_radius);
+    for (int v : sp.touched()) {
+      in_scope[static_cast<std::size_t>(v)] = 1;
+      scratch_scoped_.push_back(v);
     }
+  }
+  if (scope_size_out != nullptr) {
+    *scope_size_out = full_scope ? inst_.g.n() : static_cast<int>(scratch_scoped_.size());
   }
   const auto scoped = [&](int v) {
     return full_scope || in_scope[static_cast<std::size_t>(v)] != 0;
@@ -291,22 +312,41 @@ bool DynamicSpanner::certify(const std::vector<int>& modified) const {
   };
   // Re-derivation tolerance: witness weights are sums of O(1/wmin) doubles.
   const double slack = 1.0 + 1e-9;
-  for (int u = 0; u < inst_.g.n(); ++u) {
-    if (!scoped(u)) continue;
-    if (spanner_.degree(u) > opts_.caps.max_degree) {
-      reset_scope();
-      return false;
-    }
+  const auto vertex_ok = [&](int u) {
+    if (spanner_.degree(u) > opts_.caps.max_degree) return false;
+    // One bounded witness search per vertex answers all of its edge checks
+    // (batching: the single t·wmax(u) ball costs less than one ball per
+    // incident edge, and each edge's own bound is still enforced below).
+    double wmax_u = 0.0;
     for (const graph::Neighbor& nb : inst_.g.neighbors(u)) {
       // Each scoped edge once: via its smaller endpoint when both are
       // scoped, else via the scoped one.
       if (scoped(nb.to) && nb.to < u) continue;
+      wmax_u = std::max(wmax_u, active_weight(nb.w));
+    }
+    if (wmax_u == 0.0) return true;
+    const graph::SpView sp = ws_.bounded(spanner_, u, params_.t * wmax_u * slack);
+    for (const graph::Neighbor& nb : inst_.g.neighbors(u)) {
+      if (scoped(nb.to) && nb.to < u) continue;
       // spanner_ edge weights are already in active (transformed) units —
-      // relaxed_greedy stores transform(len) on every edge it emits — so the
-      // sp_distance sum below is directly comparable to this bound.
+      // relaxed_greedy stores transform(len) on every edge it emits — so
+      // the witness-path sum below is directly comparable to this bound.
       const double w = active_weight(nb.w);
       const double bound = params_.t * w * slack;
-      if (graph::sp_distance(spanner_, u, nb.to, bound) > bound) {
+      if (sp.dist(nb.to) > bound) return false;
+    }
+    return true;
+  };
+  if (full_scope) {
+    for (int u = 0; u < inst_.g.n(); ++u) {
+      if (!vertex_ok(u)) {
+        reset_scope();
+        return false;
+      }
+    }
+  } else {
+    for (int u : scratch_scoped_) {
+      if (!vertex_ok(u)) {
         reset_scope();
         return false;
       }
@@ -333,7 +373,8 @@ RepairStats DynamicSpanner::apply(const ChurnEvent& ev) {
 
     if (opts_.check != CheckLevel::kOff) {
       st.check_ran = true;
-      bool ok = opts_.check == CheckLevel::kFull ? certify({}) : certify(modified);
+      bool ok = opts_.check == CheckLevel::kFull ? certify({}, &st.certify_scope)
+                                                 : certify(modified, &st.certify_scope);
       if (ok && opts_.check == CheckLevel::kFull) {
         ok = graph::lightness(inst_.g, spanner_) <= opts_.caps.lightness;
       }

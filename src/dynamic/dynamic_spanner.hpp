@@ -40,6 +40,7 @@
 #include "dynamic/churn.hpp"
 #include "geom/dynamic_grid.hpp"
 #include "graph/graph.hpp"
+#include "graph/sp_workspace.hpp"
 #include "ubg/generator.hpp"
 
 namespace localspan::dynamic {
@@ -103,6 +104,7 @@ struct RepairStats {
   int sub_edges = 0;             ///< UBG edges induced on B (local rerun size).
   int spanner_edges_removed = 0; ///< dropped: UBG-departed + core replacement.
   int spanner_edges_added = 0;   ///< inserted from the local rerun.
+  int certify_scope = 0;         ///< vertices the certification pass visited.
 
   bool check_ran = false;
   bool check_passed = true;
@@ -125,6 +127,14 @@ class DynamicSpanner {
   /// standard static pipeline. \throws std::invalid_argument on parameter
   /// violations (including connect_radius outside [alpha, 1]).
   DynamicSpanner(ubg::UbgInstance inst, const core::Params& params, DynamicOptions opts = {});
+
+  /// Neither copyable nor movable: opts_.greedy.workspace points at this
+  /// object's own greedy_ws_, which a defaulted copy/move would silently
+  /// re-aim at the source object.
+  DynamicSpanner(const DynamicSpanner&) = delete;
+  DynamicSpanner& operator=(const DynamicSpanner&) = delete;
+  DynamicSpanner(DynamicSpanner&&) = delete;
+  DynamicSpanner& operator=(DynamicSpanner&&) = delete;
 
   /// Apply one event: update the UBG, repair the spanner locally, certify.
   /// \throws std::invalid_argument on an event invalid for the current
@@ -152,8 +162,13 @@ class DynamicSpanner {
 
   /// The certification pass alone, scoped to witnesses that can reach
   /// `modified` (empty => certify everything, as CheckLevel::kFull does).
-  /// Exposed for tests and the CLI's final audit.
-  [[nodiscard]] bool certify(const std::vector<int>& modified) const;
+  /// The disturbed scope is enumerated from the workspace search's touched
+  /// list, so a local certify costs O(|scope|) — it never walks all n
+  /// vertices. If `scope_size_out` is non-null it receives the number of
+  /// vertices visited. Exposed for tests and the CLI's final audit.
+  /// Allocation-free once the engine's scratch is warm.
+  [[nodiscard]] bool certify(const std::vector<int>& modified,
+                             int* scope_size_out = nullptr) const;
 
  private:
   [[nodiscard]] double active_weight(double len) const;
@@ -185,13 +200,23 @@ class DynamicSpanner {
   double ball_radius_ = 0;    ///< R = K + W (unless overridden).
 
   // Repair/certify scratch, reused across events (ROADMAP open item: no
-  // O(n) allocation per event). Entries touched by one event are reset
-  // before the next; the certify buffers are mutable because certify() is
-  // logically const.
+  // O(n) allocation or initialization per event). Entries touched by one
+  // event are reset before the next; the certify buffers are mutable
+  // because certify() is logically const.
   std::vector<int> scratch_local_id_;          ///< -1 outside the current ball.
   std::vector<char> scratch_in_core_;          ///< 0 outside the current core.
+  std::vector<int> scratch_ball_;              ///< current ball members (sorted).
   mutable std::vector<char> scratch_in_scope_; ///< 0 outside the current scope.
   mutable std::vector<int> scratch_scoped_;    ///< scope members (reset list).
+
+  /// Epoch-stamped shortest-path workspace for the dirty-ball, scope and
+  /// witness searches; sized once, O(|ball| log |ball|) per search with no
+  /// steady-state allocation. Mutable for the same reason as the scratch.
+  mutable graph::DijkstraWorkspace ws_;
+  /// Workspace handed to relaxed_greedy (local reruns and full recomputes)
+  /// via opts_.greedy.workspace, so repeated repairs reuse one set of
+  /// search buffers.
+  graph::DijkstraWorkspace greedy_ws_;
 };
 
 }  // namespace localspan::dynamic

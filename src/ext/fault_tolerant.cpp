@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/dijkstra.hpp"
+#include "graph/sp_workspace.hpp"
 
 namespace localspan::ext {
 
@@ -12,15 +13,17 @@ namespace {
 
 /// Count pairwise edge-disjoint uv-paths of length <= bound in g, by greedy
 /// peeling: repeatedly find a shortest bounded path, count it, delete its
-/// edges. Stops at `needed`.
-int disjoint_bounded_paths(graph::Graph g, int u, int v, double bound, int needed) {
+/// edges. Stops at `needed`. `ws` is shared across all peels (and, by the
+/// builders below, across all candidate edges).
+int disjoint_bounded_paths(graph::DijkstraWorkspace& ws, graph::Graph g, int u, int v,
+                           double bound, int needed) {
   int found = 0;
   while (found < needed) {
-    const graph::ShortestPaths sp = graph::dijkstra_bounded(g, u, bound);
-    if (sp.dist[static_cast<std::size_t>(v)] > bound) break;
+    const graph::SpView sp = ws.bounded_to(g, u, v, bound);
+    if (sp.dist(v) > bound) break;
     ++found;
-    for (int cur = v; sp.parent[static_cast<std::size_t>(cur)] != -1;) {
-      const int prev = sp.parent[static_cast<std::size_t>(cur)];
+    for (int cur = v; sp.parent(cur) != -1;) {
+      const int prev = sp.parent(cur);
       g.remove_edge(prev, cur);
       cur = prev;
     }
@@ -30,16 +33,16 @@ int disjoint_bounded_paths(graph::Graph g, int u, int v, double bound, int neede
 
 /// Count internally vertex-disjoint uv-paths of length <= bound, greedily:
 /// find a shortest bounded path, count it, delete its interior vertices.
-int disjoint_bounded_vertex_paths(graph::Graph g, int u, int v, double bound, int needed) {
+int disjoint_bounded_vertex_paths(graph::DijkstraWorkspace& ws, graph::Graph g, int u, int v,
+                                  double bound, int needed) {
   int found = 0;
   while (found < needed) {
-    const graph::ShortestPaths sp = graph::dijkstra_bounded(g, u, bound);
-    if (sp.dist[static_cast<std::size_t>(v)] > bound) break;
+    const graph::SpView sp = ws.bounded_to(g, u, v, bound);
+    if (sp.dist(v) > bound) break;
     ++found;
     // Collect the interior, then cut those vertices out of the working copy.
     std::vector<int> interior;
-    for (int cur = sp.parent[static_cast<std::size_t>(v)]; cur != -1 && cur != u;
-         cur = sp.parent[static_cast<std::size_t>(cur)]) {
+    for (int cur = sp.parent(v); cur != -1 && cur != u; cur = sp.parent(cur)) {
       interior.push_back(cur);
     }
     if (interior.empty()) {
@@ -67,9 +70,10 @@ graph::Graph fault_tolerant_greedy_vertex(const graph::Graph& g, double t, int k
     return a.u != b.u ? a.u < b.u : a.v < b.v;
   });
   graph::Graph out(g.n());
+  graph::DijkstraWorkspace ws(g.n());
   for (const graph::Edge& e : es) {
     const double bound = t * e.w;
-    if (disjoint_bounded_vertex_paths(out, e.u, e.v, bound, k + 1) < k + 1) {
+    if (disjoint_bounded_vertex_paths(ws, out, e.u, e.v, bound, k + 1) < k + 1) {
       out.add_edge(e.u, e.v, e.w);
     }
   }
@@ -85,9 +89,10 @@ graph::Graph fault_tolerant_greedy(const graph::Graph& g, double t, int k) {
     return a.u != b.u ? a.u < b.u : a.v < b.v;
   });
   graph::Graph out(g.n());
+  graph::DijkstraWorkspace ws(g.n());
   for (const graph::Edge& e : es) {
     const double bound = t * e.w;
-    if (disjoint_bounded_paths(out, e.u, e.v, bound, k + 1) < k + 1) {
+    if (disjoint_bounded_paths(ws, out, e.u, e.v, bound, k + 1) < k + 1) {
       out.add_edge(e.u, e.v, e.w);
     }
   }

@@ -1,6 +1,6 @@
 #pragma once
 /// \file dijkstra.hpp
-/// Shortest-path machinery.
+/// Shortest-path machinery — the dense reference implementation.
 ///
 /// Every shortest-path question in the paper is *radius-bounded*: cluster
 /// covers explore to δW_{i-1} (§2.2.1), cluster-graph construction to
@@ -8,6 +8,14 @@
 /// bounded Dijkstra variants that stop expanding past the bound — this is
 /// both the asymptotic trick of Das–Narasimhan and what keeps the phased
 /// algorithm near-linear in practice.
+///
+/// These functions allocate and initialize O(n) dist/parent arrays per
+/// call, which makes the memory traffic global even when the settled ball
+/// is tiny. Hot paths use graph::DijkstraWorkspace (sp_workspace.hpp)
+/// instead — epoch-stamped scratch with O(1) reset and zero steady-state
+/// allocation; the functions here survive as the reference implementation
+/// the workspace is tested against (tests/test_sp_workspace.cpp) and as
+/// the convenient form for one-shot callers off the hot path.
 
 #include <functional>
 #include <limits>

@@ -7,22 +7,28 @@
 
 #include "graph/dijkstra.hpp"
 #include "graph/mst.hpp"
+#include "graph/sp_workspace.hpp"
 
 namespace localspan::graph {
 
 double max_edge_stretch(const Graph& g, const Graph& sub, double cap) {
   if (g.n() != sub.n()) throw std::invalid_argument("max_edge_stretch: vertex count mismatch");
   if (g.m() == 0) return 1.0;
+  // One bounded Dijkstra per vertex answers all incident-edge queries; the
+  // workspace + CSR snapshot keep each one O(|ball|) in time AND memory
+  // traffic (the dense version allocated a fresh O(n) result per vertex —
+  // O(n^2) traffic for a linear-size answer).
+  const CsrView sub_csr(sub);
+  DijkstraWorkspace ws(g.n());
   double worst = 1.0;
   for (int u = 0; u < g.n(); ++u) {
-    // One bounded Dijkstra per vertex answers all incident-edge queries.
     double max_w = 0.0;
     for (const Neighbor& nb : g.neighbors(u)) max_w = std::max(max_w, nb.w);
     if (max_w == 0.0) continue;
-    const ShortestPaths sp = dijkstra_bounded(sub, u, cap * max_w);
+    const SpView sp = ws.bounded(sub_csr, u, cap * max_w);
     for (const Neighbor& nb : g.neighbors(u)) {
       if (nb.to < u) continue;  // each edge once
-      const double d = sp.dist[static_cast<std::size_t>(nb.to)];
+      const double d = sp.dist(nb.to);
       const double ratio = d == kInf ? cap : std::min(cap, d / nb.w);
       worst = std::max(worst, ratio);
     }
@@ -35,17 +41,42 @@ double sampled_pair_stretch(const Graph& g, const Graph& sub, int samples, std::
   if (g.n() < 2 || samples <= 0) return 1.0;
   std::mt19937_64 rng(seed);
   std::uniform_int_distribution<int> pick(0, g.n() - 1);
-  double worst = 1.0;
+  // Draw the pair set first (identical sequence to the historical
+  // per-sample draw), then group by source so a source sampled more than
+  // once pays for its two unbounded searches exactly once.
+  struct Sample {
+    int u, v;
+  };
+  std::vector<Sample> pairs;
+  pairs.reserve(static_cast<std::size_t>(samples));
   for (int s = 0; s < samples; ++s) {
     const int u = pick(rng);
-    const ShortestPaths in_g = dijkstra(g, u);
-    const ShortestPaths in_sub = dijkstra(sub, u);
     int v = pick(rng);
     if (v == u) v = (v + 1) % g.n();
-    const double dg = in_g.dist[static_cast<std::size_t>(v)];
-    if (dg == kInf || dg == 0.0) continue;
-    const double ds = in_sub.dist[static_cast<std::size_t>(v)];
-    worst = std::max(worst, ds == kInf ? kInf : ds / dg);
+    pairs.push_back({u, v});
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const Sample& a, const Sample& b) { return a.u < b.u; });
+  DijkstraWorkspace ws(g.n());
+  std::vector<double> dg_run;  // dist-in-g per pair of the current source run
+  double worst = 1.0;
+  for (std::size_t i = 0; i < pairs.size();) {
+    const int u = pairs[i].u;
+    std::size_t end = i;
+    while (end < pairs.size() && pairs[end].u == u) ++end;
+    dg_run.clear();
+    {
+      const SpView in_g = ws.bounded(g, u, kInf);
+      for (std::size_t s = i; s < end; ++s) dg_run.push_back(in_g.dist(pairs[s].v));
+    }
+    const SpView in_sub = ws.bounded(sub, u, kInf);
+    for (std::size_t s = i; s < end; ++s) {
+      const double dg = dg_run[s - i];
+      if (dg == kInf || dg == 0.0) continue;
+      const double ds = in_sub.dist(pairs[s].v);
+      worst = std::max(worst, ds == kInf ? kInf : ds / dg);
+    }
+    i = end;
   }
   return worst;
 }

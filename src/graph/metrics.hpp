@@ -23,6 +23,9 @@ namespace localspan::graph {
 
 /// Stretch over `samples` random vertex pairs (ratio of sp_sub to sp_g);
 /// pairs disconnected in g are skipped. Cross-validates max_edge_stretch.
+/// Samples are grouped by source vertex, so a source drawn k times costs
+/// its two unbounded searches once, not k times (the drawn pair set is
+/// identical either way).
 [[nodiscard]] double sampled_pair_stretch(const Graph& g, const Graph& sub, int samples,
                                           std::uint64_t seed);
 

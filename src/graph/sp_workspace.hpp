@@ -1,0 +1,355 @@
+#pragma once
+/// \file sp_workspace.hpp
+/// Output-sensitive shortest-path machinery: an epoch-stamped Dijkstra
+/// workspace plus frozen CSR adjacency snapshots.
+///
+/// Every shortest-path question in the paper is *radius-bounded* — cluster
+/// covers explore to δW_{i-1}, queries to t·|xy|, dynamic repair to the
+/// dirty-ball radius R — so the ball a search settles is usually tiny
+/// compared to n. The dense `dijkstra*` functions still pay O(n) to
+/// allocate and initialize their dist/parent arrays per call, which makes
+/// the *memory traffic* global even when the *work* is local. The
+/// `DijkstraWorkspace` removes that: dist/parent entries are validated by an
+/// epoch stamp, a search touches only the ball it settles, reset is O(1)
+/// (bump the epoch), and the heap/touched buffers are reused so a warmed-up
+/// workspace performs **zero allocations** per search. A bounded search
+/// therefore costs O(|ball| log |ball|), independent of n.
+///
+/// Searches return a sparse `SpView` (touched-vertex list + O(1) stamped
+/// lookup) instead of a dense `ShortestPaths`; the dense functions in
+/// dijkstra.hpp survive as the reference implementation the workspace is
+/// tested against.
+///
+/// `CsrView` complements the workspace for read-heavy passes: a frozen
+/// offsets-plus-flat-neighbor-array snapshot of a Graph, so loops that sweep
+/// many adjacency lists (metrics, covers, cluster-graph construction) stop
+/// chasing one heap pointer per vertex of `vector<vector<Neighbor>>`.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+
+namespace localspan::graph {
+
+/// Frozen CSR (compressed sparse row) snapshot of a Graph's adjacency.
+/// Neighbor spans are bitwise-identical in content and order to the source
+/// graph's at snapshot time; the snapshot does not track later mutations.
+class CsrView {
+ public:
+  CsrView() = default;
+  explicit CsrView(const Graph& g) { assign(g); }
+
+  /// Re-snapshot. Reuses the flat buffers (no allocation once capacity has
+  /// grown to the workload's high-water mark).
+  void assign(const Graph& g) {
+    const int n = g.n();
+    offsets_.clear();
+    nbrs_.clear();
+    offsets_.reserve(static_cast<std::size_t>(n) + 1);
+    offsets_.push_back(0);
+    for (int u = 0; u < n; ++u) {
+      const std::span<const Neighbor> row = g.neighbors(u);
+      nbrs_.insert(nbrs_.end(), row.begin(), row.end());
+      offsets_.push_back(static_cast<int>(nbrs_.size()));
+    }
+  }
+
+  [[nodiscard]] int n() const noexcept { return static_cast<int>(offsets_.size()) - 1; }
+
+  [[nodiscard]] std::span<const Neighbor> neighbors(int u) const {
+    const auto i = static_cast<std::size_t>(u);
+    return {nbrs_.data() + offsets_[i], nbrs_.data() + offsets_[i + 1]};
+  }
+
+ private:
+  std::vector<int> offsets_{0};  ///< offsets_[u]..offsets_[u+1] index nbrs_.
+  std::vector<Neighbor> nbrs_;
+};
+
+/// Identity weight transform — the default, and a distinct *type*, so the
+/// relaxation loop compiles to a plain load with no indirect call and no
+/// per-edge empty-std::function branch.
+struct IdentityWeight {
+  double operator()(double w) const noexcept { return w; }
+};
+
+class DijkstraWorkspace;
+
+/// Sparse result of a workspace search. Views borrow the workspace's
+/// arrays: a view is valid until the next search on the same workspace
+/// (accessors throw std::logic_error afterwards — the error path that
+/// catches accidental reuse across searches or graphs).
+///
+/// For full-drain searches (bounded/multi_bounded/full) every touched
+/// vertex is settled, so dist/reached are exact. A target early-exit
+/// search (bounded_to, distance) stops as soon as the target settles:
+/// reached/dist/touched may then include frontier vertices whose
+/// distances are still tentative upper bounds — read only the target and
+/// its tree ancestors from such a view.
+class SpView {
+ public:
+  SpView() = default;
+
+  /// Was v settled (within the bound) by this search? (After a target
+  /// early-exit search: was v *stamped* — see the class comment.)
+  [[nodiscard]] bool reached(int v) const;
+
+  /// sp(sources, v), or kInf if v was not settled within the bound.
+  /// (After a target early-exit search, non-ancestors of the target may
+  /// report tentative upper bounds — see the class comment.)
+  [[nodiscard]] double dist(int v) const;
+
+  /// Parent of v on the shortest-path tree, -1 at sources/unreached.
+  [[nodiscard]] int parent(int v) const;
+
+  /// Settled vertices in settle order (sources first). O(|ball|) to scan.
+  /// (After a target early-exit search this may include not-yet-settled
+  /// frontier vertices — see the class comment.)
+  [[nodiscard]] std::span<const int> touched() const;
+
+  /// Hop count of the tree path to v, or -1 if unreached.
+  [[nodiscard]] int path_hops(int v) const;
+
+ private:
+  friend class DijkstraWorkspace;
+  SpView(const DijkstraWorkspace* ws, std::uint64_t token) : ws_(ws), token_(token) {}
+
+  void check() const;  ///< throws std::logic_error when the view is stale.
+
+  const DijkstraWorkspace* ws_ = nullptr;
+  std::uint64_t token_ = 0;
+};
+
+/// Reusable epoch-stamped state for Dijkstra-shaped searches.
+///
+/// One workspace serves any sequence of graphs (it sizes itself to the
+/// largest n seen; growth is the only allocation). Typical use: own one
+/// per long-lived engine or per algorithm invocation, and thread it through
+/// every bounded search on the hot path.
+class DijkstraWorkspace {
+ public:
+  DijkstraWorkspace() = default;
+  /// Pre-size for graphs up to n vertices (optional; searches auto-grow).
+  explicit DijkstraWorkspace(int n) { grow(n); }
+
+  /// Single-source search bounded by `radius` (pass kInf for unbounded).
+  template <class G>
+  SpView bounded(const G& g, int src, double radius) {
+    check_radius(radius);
+    const int srcs[1] = {src};
+    return run(g, srcs, radius, -1, IdentityWeight{});
+  }
+
+  /// Single-source search bounded by `radius` that stops as soon as `target`
+  /// is settled (the view still answers dist/parent/path_hops for the target
+  /// and every vertex settled before it).
+  template <class G>
+  SpView bounded_to(const G& g, int src, int target, double radius) {
+    check_radius(radius);
+    if (target < 0 || target >= g.n()) {
+      throw std::invalid_argument("dijkstra: target out of range");
+    }
+    const int srcs[1] = {src};
+    return run(g, srcs, radius, target, IdentityWeight{});
+  }
+
+  /// Multi-source bounded search; dist(v) = min over sources of sp(s, v).
+  template <class G>
+  SpView multi_bounded(const G& g, std::span<const int> sources, double radius) {
+    check_radius(radius);
+    return run(g, sources, radius, -1, IdentityWeight{});
+  }
+
+  /// Multi-source bounded search with every stored edge weight mapped
+  /// through `weight` before use. `weight` is a template parameter: a
+  /// stateless functor inlines into the relaxation loop, and only genuinely
+  /// dynamic transforms (e.g. a user-supplied std::function) pay a call.
+  template <class G, class WeightFn>
+  SpView multi_bounded(const G& g, std::span<const int> sources, double radius,
+                       WeightFn&& weight) {
+    check_radius(radius);
+    return run(g, sources, radius, -1, std::forward<WeightFn>(weight));
+  }
+
+  /// sp(u, v), or kInf if it exceeds `bound`. Early-exits once v is settled
+  /// or the frontier minimum passes the bound. Semantics match
+  /// graph::sp_distance; cost is O(|ball| log |ball|) with no allocation
+  /// once warm.
+  template <class G>
+  double distance(const G& g, int u, int v, double bound = kInf) {
+    if (v < 0 || v >= g.n()) throw std::invalid_argument("sp_distance: target out of range");
+    if (u == v) return 0.0;
+    const int srcs[1] = {u};
+    const SpView view = run(g, srcs, bound, v, IdentityWeight{});
+    const double d = view.dist(v);
+    return d <= bound ? d : kInf;
+  }
+
+  /// The number of searches started (SpView staleness token). Test hook.
+  [[nodiscard]] std::uint64_t searches() const noexcept { return token_; }
+
+  /// Test hook for the epoch-wraparound path: exhaust the epoch counter so
+  /// the next search must rebase every stamp. Production code never needs
+  /// this (2^32 searches away); tests cover the rebase with it.
+  void debug_exhaust_epochs() noexcept { epoch_now_ = kEpochMax; }
+
+ private:
+  friend class SpView;
+
+  struct HeapItem {
+    double d;
+    int v;
+  };
+
+  static constexpr std::uint32_t kEpochMax = std::numeric_limits<std::uint32_t>::max();
+
+  static void check_radius(double radius) {
+    if (radius < 0.0) throw std::invalid_argument("dijkstra: negative radius");
+  }
+
+  void grow(int n) {
+    if (static_cast<int>(stamp_.size()) < n) {
+      stamp_.resize(static_cast<std::size_t>(n), 0);
+      dist_.resize(static_cast<std::size_t>(n));
+      parent_.resize(static_cast<std::size_t>(n));
+    }
+  }
+
+  /// O(1) amortized reset: bump the epoch so every stamp goes stale. On the
+  /// (rare) counter wrap, rebase all stamps to 0 — O(capacity), once per
+  /// 2^32 - 1 searches.
+  void begin(int n) {
+    ++token_;
+    grow(n);
+    n_ = n;
+    if (epoch_now_ == kEpochMax) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_now_ = 0;
+    }
+    ++epoch_now_;
+    touched_.clear();
+    heap_.clear();
+  }
+
+  [[nodiscard]] bool stamped(int v) const {
+    return stamp_[static_cast<std::size_t>(v)] == epoch_now_;
+  }
+
+  void heap_push(double d, int v) {
+    heap_.push_back({d, v});
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t up = (i - 1) / 2;
+      if (heap_[up].d <= heap_[i].d) break;
+      std::swap(heap_[up], heap_[i]);
+      i = up;
+    }
+  }
+
+  HeapItem heap_pop() {
+    const HeapItem top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    std::size_t i = 0;
+    const std::size_t size = heap_.size();
+    while (true) {
+      const std::size_t l = 2 * i + 1;
+      if (l >= size) break;
+      const std::size_t r = l + 1;
+      const std::size_t child = (r < size && heap_[r].d < heap_[l].d) ? r : l;
+      if (heap_[i].d <= heap_[child].d) break;
+      std::swap(heap_[i], heap_[child]);
+      i = child;
+    }
+    return top;
+  }
+
+  template <class G, class WeightFn>
+  SpView run(const G& g, std::span<const int> sources, double radius, int target,
+             WeightFn&& weight) {
+    begin(g.n());
+    for (int s : sources) {
+      if (s < 0 || s >= n_) throw std::invalid_argument("dijkstra: source out of range");
+      if (!stamped(s)) {
+        const auto i = static_cast<std::size_t>(s);
+        stamp_[i] = epoch_now_;
+        dist_[i] = 0.0;
+        parent_[i] = -1;
+        touched_.push_back(s);
+        heap_push(0.0, s);
+      }
+    }
+    while (!heap_.empty()) {
+      const auto [d, v] = heap_pop();
+      if (d > dist_[static_cast<std::size_t>(v)]) continue;  // stale entry
+      if (d > radius) break;
+      if (v == target) break;
+      for (const Neighbor& nb : g.neighbors(v)) {
+        const double nd = d + weight(nb.w);
+        if (nd > radius) continue;
+        const auto to = static_cast<std::size_t>(nb.to);
+        if (stamp_[to] != epoch_now_) {
+          stamp_[to] = epoch_now_;
+          dist_[to] = nd;
+          parent_[to] = v;
+          touched_.push_back(nb.to);
+          heap_push(nd, nb.to);
+        } else if (nd < dist_[to]) {
+          dist_[to] = nd;
+          parent_[to] = v;
+          heap_push(nd, nb.to);
+        }
+      }
+    }
+    heap_.clear();  // early breaks leave entries behind; keep capacity
+    return SpView(this, token_);
+  }
+
+  std::vector<std::uint32_t> stamp_;  ///< stamp_[v] == epoch_now_ => entry valid.
+  std::vector<double> dist_;
+  std::vector<int> parent_;
+  std::vector<int> touched_;  ///< vertices stamped by the current search.
+  std::vector<HeapItem> heap_;
+  std::uint32_t epoch_now_ = 0;
+  std::uint64_t token_ = 0;  ///< search counter, invalidates outstanding views.
+  int n_ = 0;                ///< vertex count of the current search's graph.
+};
+
+inline void SpView::check() const {
+  if (ws_ == nullptr || token_ != ws_->token_) {
+    throw std::logic_error("SpView: stale view (the workspace ran a newer search)");
+  }
+}
+
+inline bool SpView::reached(int v) const {
+  check();
+  if (v < 0 || v >= ws_->n_) throw std::invalid_argument("SpView: vertex out of range");
+  return ws_->stamped(v);
+}
+
+inline double SpView::dist(int v) const { return reached(v) ? ws_->dist_[static_cast<std::size_t>(v)] : kInf; }
+
+inline int SpView::parent(int v) const { return reached(v) ? ws_->parent_[static_cast<std::size_t>(v)] : -1; }
+
+inline std::span<const int> SpView::touched() const {
+  check();
+  return ws_->touched_;
+}
+
+inline int SpView::path_hops(int v) const {
+  if (!reached(v)) return -1;
+  int hops = 0;
+  for (int cur = v; ws_->parent_[static_cast<std::size_t>(cur)] != -1;
+       cur = ws_->parent_[static_cast<std::size_t>(cur)]) {
+    ++hops;
+  }
+  return hops;
+}
+
+}  // namespace localspan::graph

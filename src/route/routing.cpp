@@ -5,6 +5,7 @@
 
 #include "geom/point.hpp"
 #include "graph/dijkstra.hpp"
+#include "graph/sp_workspace.hpp"
 
 namespace localspan::route {
 
@@ -60,18 +61,19 @@ RoutingStats evaluate_routing(const ubg::UbgInstance& inst, const graph::Graph& 
   RoutingStats st;
   double hops_sum = 0.0;
   double stretch_sum = 0.0;
+  graph::DijkstraWorkspace ws(topo.n());  // reused across trials
   while (st.trials < trials) {
     const int s = pick(rng);
     const int d = pick(rng);
     if (s == d) continue;
-    const graph::ShortestPaths sp = graph::dijkstra(topo, s);
-    if (sp.dist[static_cast<std::size_t>(d)] == graph::kInf) continue;  // different components
+    const double sp_sd = ws.distance(topo, s, d);
+    if (sp_sd == graph::kInf) continue;  // different components
     ++st.trials;
     const RouteResult r = route_packet(inst, topo, s, d, rule);
     if (!r.delivered) continue;
     ++st.delivered;
     hops_sum += r.hops;
-    const double ratio = r.length / sp.dist[static_cast<std::size_t>(d)];
+    const double ratio = r.length / sp_sd;
     stretch_sum += ratio;
     st.worst_route_stretch = std::max(st.worst_route_stretch, ratio);
   }

@@ -1,0 +1,326 @@
+/// Tests for the epoch-stamped shortest-path workspace and CSR snapshots
+/// (graph/sp_workspace.hpp): equivalence against the retained dense
+/// reference implementation across the scenario matrix, the
+/// epoch-wraparound rebase, the stale-view / reuse-across-graphs error
+/// paths, and the zero-allocation steady state (counting allocator).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+#include "core/params.hpp"
+#include "dynamic/churn.hpp"
+#include "dynamic/dynamic_spanner.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/sp_workspace.hpp"
+#include "scenario_matrix.hpp"
+
+namespace gr = localspan::graph;
+using localspan::testinfra::Scenario;
+using localspan::testinfra::ScenarioName;
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every operator-new in this binary bumps the counter.
+// Tests snapshot it around a warmed-up hot path; the infrastructure around
+// the window (gtest, streams) may allocate freely.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<long long> g_allocs{0};
+}  // namespace
+
+// The replacement operator new allocates with std::malloc, so operator
+// delete frees with std::free — GCC's new/delete-pair analysis cannot see
+// through the replacement and flags the (correct) pairing.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+/// Dense/sparse agreement on one (graph, sources, radius, transform) cell:
+/// identical distances everywhere, touched == the settled ball, and a
+/// parent tree that reproduces the distances.
+void expect_equivalent(
+    const gr::Graph& g, const gr::ShortestPaths& dense, const gr::SpView& sp,
+    const std::function<double(double)>& weight = [](double w) { return w; }) {
+  int settled = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(dense.dist[static_cast<std::size_t>(v)], sp.dist(v)) << "vertex " << v;
+    if (dense.dist[static_cast<std::size_t>(v)] != gr::kInf) {
+      ++settled;
+      EXPECT_TRUE(sp.reached(v));
+      const int p = sp.parent(v);
+      if (p != -1) {
+        // The tree edge realizes the distance (parents may differ from the
+        // dense run on exact ties; distances never do).
+        EXPECT_NEAR(sp.dist(p) + weight(g.edge_weight(p, v)), sp.dist(v), 1e-12);
+      }
+    } else {
+      EXPECT_FALSE(sp.reached(v));
+      EXPECT_EQ(sp.parent(v), -1);
+    }
+  }
+  EXPECT_EQ(settled, static_cast<int>(sp.touched().size()));
+}
+
+class SpWorkspaceMatrixTest : public ::testing::TestWithParam<Scenario> {};
+
+}  // namespace
+
+TEST_P(SpWorkspaceMatrixTest, BoundedMatchesDenseReference) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const gr::Graph& g = inst.g;
+  gr::DijkstraWorkspace ws;
+  for (const double radius : {0.1, 0.45, gr::kInf}) {
+    for (int src : {0, g.n() / 2, g.n() - 1}) {
+      const gr::ShortestPaths dense = radius == gr::kInf
+                                          ? gr::dijkstra(g, src)
+                                          : gr::dijkstra_bounded(g, src, radius);
+      const gr::SpView sp = ws.bounded(g, src, radius);
+      expect_equivalent(g, dense, sp);
+    }
+  }
+}
+
+TEST_P(SpWorkspaceMatrixTest, MultiSourceMatchesDenseReference) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const gr::Graph& g = inst.g;
+  gr::DijkstraWorkspace ws;
+  const std::vector<int> sources{0, g.n() / 3, g.n() - 1, 0};  // duplicate on purpose
+  for (const double radius : {0.2, 0.6}) {
+    const gr::ShortestPaths dense = gr::dijkstra_multi_bounded(g, sources, radius);
+    const gr::SpView sp = ws.multi_bounded(g, sources, radius);
+    expect_equivalent(g, dense, sp);
+  }
+}
+
+TEST_P(SpWorkspaceMatrixTest, TransformedMatchesDenseReference) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const gr::Graph& g = inst.g;
+  gr::DijkstraWorkspace ws;
+  const auto energy = [](double w) { return w * w; };
+  const std::vector<int> sources{0, g.n() - 1};
+  const double radius = 0.4;
+  const gr::ShortestPaths dense = gr::dijkstra_multi_bounded(g, sources, radius, energy);
+  const gr::SpView sp = ws.multi_bounded(g, sources, radius, energy);
+  expect_equivalent(g, dense, sp, energy);
+}
+
+TEST_P(SpWorkspaceMatrixTest, CsrSearchesMatchGraphSearches) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const gr::Graph& g = inst.g;
+  const gr::CsrView csr(g);
+  ASSERT_EQ(csr.n(), g.n());
+  for (int u = 0; u < g.n(); ++u) {
+    const auto a = g.neighbors(u);
+    const auto b = csr.neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      EXPECT_EQ(a[i].w, b[i].w);
+    }
+  }
+  gr::DijkstraWorkspace ws;
+  const gr::ShortestPaths dense = gr::dijkstra_bounded(g, 0, 0.5);
+  expect_equivalent(g, dense, ws.bounded(csr, 0, 0.5));
+}
+
+TEST_P(SpWorkspaceMatrixTest, DistanceMatchesSpDistance) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const gr::Graph& g = inst.g;
+  gr::DijkstraWorkspace ws;
+  for (const double bound : {0.25, gr::kInf}) {
+    for (int v : {0, g.n() / 2, g.n() - 1}) {
+      EXPECT_EQ(gr::sp_distance(g, 0, v, bound), ws.distance(g, 0, v, bound));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SpWorkspaceMatrixTest,
+                         ::testing::ValuesIn(localspan::testinfra::standard_matrix()),
+                         ScenarioName());
+
+namespace {
+
+/// A fixed 5-vertex path graph 0-1-2-3-4 with unit-ish weights.
+gr::Graph path_graph() {
+  gr::Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 0.5);
+  g.add_edge(2, 3, 2.0);
+  g.add_edge(3, 4, 1.5);
+  return g;
+}
+
+}  // namespace
+
+TEST(SpWorkspace, BoundedToEarlyExitAnswersTarget) {
+  const gr::Graph g = path_graph();
+  gr::DijkstraWorkspace ws;
+  const gr::SpView sp = ws.bounded_to(g, 0, 3, gr::kInf);
+  EXPECT_DOUBLE_EQ(sp.dist(3), 3.5);
+  EXPECT_EQ(sp.path_hops(3), 3);
+  EXPECT_EQ(sp.parent(3), 2);
+  // Beyond-bound target: unreached, hops -1 (query_on_h semantics).
+  const gr::SpView sp2 = ws.bounded_to(g, 0, 4, 2.0);
+  EXPECT_EQ(sp2.dist(4), gr::kInf);
+  EXPECT_EQ(sp2.path_hops(4), -1);
+}
+
+TEST(SpWorkspace, EpochWraparoundRebasesStamps) {
+  const gr::Graph g = path_graph();
+  gr::DijkstraWorkspace ws;
+  const gr::SpView before = ws.bounded(g, 0, gr::kInf);
+  EXPECT_DOUBLE_EQ(before.dist(4), 5.0);
+  ws.debug_exhaust_epochs();
+  // First search after exhaustion rebases every stamp; results must be
+  // exactly the fresh-workspace answers, and stale entries from the
+  // pre-wrap search must not leak in (vertex 4 unreached at radius 1).
+  const gr::SpView sp = ws.bounded(g, 0, 1.0);
+  EXPECT_DOUBLE_EQ(sp.dist(0), 0.0);
+  EXPECT_DOUBLE_EQ(sp.dist(1), 1.0);
+  EXPECT_EQ(sp.dist(4), gr::kInf);
+  EXPECT_FALSE(sp.reached(4));
+  // And the epoch counter keeps working for subsequent searches.
+  const gr::SpView sp2 = ws.bounded(g, 4, gr::kInf);
+  EXPECT_DOUBLE_EQ(sp2.dist(0), 5.0);
+}
+
+TEST(SpWorkspace, StaleViewThrowsAfterNewSearch) {
+  const gr::Graph g = path_graph();
+  gr::DijkstraWorkspace ws;
+  const gr::SpView old_view = ws.bounded(g, 0, gr::kInf);
+  EXPECT_DOUBLE_EQ(old_view.dist(2), 1.5);
+  static_cast<void>(ws.bounded(g, 1, gr::kInf));
+  EXPECT_THROW(static_cast<void>(old_view.dist(2)), std::logic_error);
+  EXPECT_THROW(static_cast<void>(old_view.touched()), std::logic_error);
+  EXPECT_THROW(static_cast<void>(old_view.parent(0)), std::logic_error);
+}
+
+TEST(SpWorkspace, ReuseAcrossGraphsIsSafeAndStaleViewsAreCaught) {
+  const gr::Graph big = path_graph();
+  gr::Graph small(2);
+  small.add_edge(0, 1, 3.0);
+  gr::DijkstraWorkspace ws;
+  const gr::SpView big_view = ws.bounded(big, 0, gr::kInf);
+  EXPECT_DOUBLE_EQ(big_view.dist(4), 5.0);
+  // Same workspace, different (smaller) graph: correct fresh results...
+  const gr::SpView small_view = ws.bounded(small, 0, gr::kInf);
+  EXPECT_DOUBLE_EQ(small_view.dist(1), 3.0);
+  // ...the big graph's view is stale, not silently reading the small run...
+  EXPECT_THROW(static_cast<void>(big_view.dist(4)), std::logic_error);
+  // ...and the small view refuses ids beyond the small graph even though
+  // the workspace's arrays are still big-graph sized.
+  EXPECT_THROW(static_cast<void>(small_view.dist(4)), std::invalid_argument);
+  // Back to the big graph: stamps from both earlier searches are stale.
+  const gr::SpView again = ws.bounded(big, 4, gr::kInf);
+  EXPECT_DOUBLE_EQ(again.dist(0), 5.0);
+}
+
+TEST(SpWorkspace, ArgumentErrorsMatchDenseReference) {
+  const gr::Graph g = path_graph();
+  gr::DijkstraWorkspace ws;
+  EXPECT_THROW(static_cast<void>(ws.bounded(g, -1, 1.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(ws.bounded(g, 5, 1.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(ws.bounded(g, 0, -1.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(ws.distance(g, 0, 9)), std::invalid_argument);
+  const std::vector<int> bad{0, 7};
+  EXPECT_THROW(static_cast<void>(ws.multi_bounded(g, bad, 1.0)), std::invalid_argument);
+}
+
+TEST(SpWorkspace, DefaultViewIsInvalid) {
+  const gr::SpView view;
+  EXPECT_THROW(static_cast<void>(view.dist(0)), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-freedom (the acceptance criterion of the workspace): after one
+// warm-up search, bounded / multi-source / transformed searches allocate
+// nothing, and so does a warmed-up DynamicSpanner local certify.
+// ---------------------------------------------------------------------------
+
+TEST(SpWorkspaceAlloc, WarmSearchesAllocateNothing) {
+  const localspan::ubg::UbgInstance inst =
+      Scenario{2, localspan::ubg::Placement::kUniform, 0.75, 256, 3}.make();
+  const gr::Graph& g = inst.g;
+  gr::DijkstraWorkspace ws;
+  const std::vector<int> sources{1, 5, 9};
+  const auto energy = [](double w) { return w * w; };
+  // Warm-up: grows the stamp/dist/parent arrays and the heap/touched
+  // buffers to the high-water mark of exactly the searches counted below
+  // (heap depth varies per source, so the warm-up mirrors them).
+  static_cast<void>(ws.bounded(g, 2, gr::kInf));
+  static_cast<void>(ws.multi_bounded(g, sources, 0.8));
+  static_cast<void>(ws.multi_bounded(g, sources, 0.8, energy));
+  static_cast<void>(ws.distance(g, 0, g.n() - 1));
+
+  long long allocs = g_allocs.load();
+  static_cast<void>(ws.bounded(g, 2, gr::kInf));
+  allocs = g_allocs.load() - allocs;
+  EXPECT_EQ(allocs, 0) << "warmed bounded search allocated";
+
+  allocs = g_allocs.load();
+  static_cast<void>(ws.multi_bounded(g, sources, 0.8));
+  allocs = g_allocs.load() - allocs;
+  EXPECT_EQ(allocs, 0) << "warmed multi-source search allocated";
+
+  allocs = g_allocs.load();
+  static_cast<void>(ws.multi_bounded(g, sources, 0.8, energy));
+  allocs = g_allocs.load() - allocs;
+  EXPECT_EQ(allocs, 0) << "warmed transformed search allocated";
+
+  allocs = g_allocs.load();
+  static_cast<void>(ws.distance(g, 0, g.n() - 1));
+  allocs = g_allocs.load() - allocs;
+  EXPECT_EQ(allocs, 0) << "warmed distance query allocated";
+}
+
+TEST(SpWorkspaceAlloc, CsrReassignAllocatesNothingOnceGrown) {
+  const localspan::ubg::UbgInstance inst =
+      Scenario{2, localspan::ubg::Placement::kUniform, 0.75, 128, 3}.make();
+  gr::CsrView csr(inst.g);
+  const long long before = g_allocs.load();
+  csr.assign(inst.g);  // same graph: capacity already fits
+  EXPECT_EQ(g_allocs.load() - before, 0);
+}
+
+TEST(SpWorkspaceAlloc, WarmDynamicCertifyAllocatesNothing) {
+  const localspan::ubg::UbgInstance inst =
+      Scenario{2, localspan::ubg::Placement::kUniform, 0.75, 128, 3}.make();
+  const localspan::core::Params params = localspan::core::Params::practical_params(0.5, 0.75);
+  localspan::dynamic::DynamicSpanner engine(inst, params);
+  localspan::dynamic::PoissonChurnConfig cfg;
+  cfg.events = 8;
+  cfg.seed = 3;
+  const localspan::dynamic::ChurnTrace trace = localspan::dynamic::poisson_churn(inst, cfg);
+  static_cast<void>(engine.apply_all(trace));  // warm scratch + workspaces
+  int live = 0;
+  while (live < engine.instance().g.n() && !engine.is_active(live)) ++live;
+  ASSERT_LT(live, engine.instance().g.n()) << "no live node after warm-up trace";
+  const std::vector<int> modified{live};
+  int scope = 0;
+  ASSERT_TRUE(engine.certify(modified, &scope));  // warm for this scope size
+  const long long before = g_allocs.load();
+  const bool ok = engine.certify(modified, &scope);
+  const long long allocs = g_allocs.load() - before;
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(allocs, 0) << "warmed local certify allocated";
+  EXPECT_GT(scope, 0);
+  EXPECT_LE(scope, engine.instance().g.n());
+}

@@ -13,6 +13,26 @@
 if(NOT DEFINED DIR)
   message(FATAL_ERROR "usage: cmake -DDIR=<dir> [-DOUT=<file>] -P collect_bench.cmake")
 endif()
+
+# CMake math() is integral: convert a decimal string like "6.456" to integer
+# microseconds for latency comparisons.
+function(to_micro out val)
+  if(val MATCHES "^([0-9]+)\\.([0-9]+)$")
+    set(ip "${CMAKE_MATCH_1}")
+    string(SUBSTRING "${CMAKE_MATCH_2}000000" 0 6 fp)
+  elseif(val MATCHES "^([0-9]+)$")
+    set(ip "${CMAKE_MATCH_1}")
+    set(fp "000000")
+  else()
+    message(FATAL_ERROR "collect_bench: '${val}' is not a decimal number")
+  endif()
+  string(REGEX REPLACE "^0+" "" fp "${fp}")
+  if(fp STREQUAL "")
+    set(fp 0)
+  endif()
+  math(EXPR micro "${ip} * 1000000 + ${fp}")
+  set(${out} "${micro}" PARENT_SCOPE)
+endfunction()
 if(NOT IS_DIRECTORY "${DIR}")
   message(FATAL_ERROR "collect_bench: '${DIR}' is not a directory")
 endif()
@@ -73,6 +93,74 @@ foreach(artifact IN LISTS artifacts)
       endif()
     endforeach()
     message(STATUS "collect_bench: E6 per-algorithm records valid (${n_rows} algorithms)")
+  endif()
+  # E15 is the dynamic-churn bench: its artifact must carry the workspace
+  # perf fields (alloc-free steady state in meta, the certify-scope column),
+  # and its full-mode n=2048 incremental latency is guarded against the
+  # checked-in baseline (the repo's first perf-regression gate).
+  if(id STREQUAL "E15")
+    string(JSON alloc_free ERROR_VARIABLE af_err GET "${payload}" "meta" "alloc_free_steady_state")
+    if(NOT af_err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "collect_bench: E15 meta lacks alloc_free_steady_state")
+    endif()
+    if(NOT alloc_free STREQUAL "yes")
+      message(FATAL_ERROR "collect_bench: E15 alloc_free_steady_state is '${alloc_free}' — the "
+        "workspace/certify steady state has started allocating")
+    endif()
+    string(JSON n_cols LENGTH "${payload}" "tables" 0 "columns")
+    set(inc_col -1)
+    set(scope_col -1)
+    set(model_col -1)
+    math(EXPR last_col "${n_cols} - 1")
+    foreach(col_idx RANGE ${last_col})
+      string(JSON col GET "${payload}" "tables" 0 "columns" ${col_idx})
+      if(col STREQUAL "inc ms/ev")
+        set(inc_col ${col_idx})
+      elseif(col STREQUAL "mean scope")
+        set(scope_col ${col_idx})
+      elseif(col STREQUAL "model")
+        set(model_col ${col_idx})
+      endif()
+    endforeach()
+    if(inc_col EQUAL -1 OR scope_col EQUAL -1 OR model_col EQUAL -1)
+      message(FATAL_ERROR "collect_bench: E15 table lacks the 'inc ms/ev'/'mean scope'/'model' columns")
+    endif()
+    # Regression guard: compare full-mode n=2048 rows against the checked-in
+    # baseline artifact. Quick-mode artifacts carry no n=2048 row and skip
+    # the comparison (the field validation above still applies).
+    set(baseline_file "${CMAKE_CURRENT_LIST_DIR}/../bench/baselines/BENCH_E15.json")
+    if(EXISTS "${baseline_file}")
+      file(READ "${baseline_file}" baseline)
+      string(JSON n_rows LENGTH "${payload}" "tables" 0 "rows")
+      string(JSON nb_rows LENGTH "${baseline}" "tables" 0 "rows")
+      math(EXPR last_row "${n_rows} - 1")
+      math(EXPR nb_last_row "${nb_rows} - 1")
+      foreach(row_idx RANGE ${last_row})
+        string(JSON row_n GET "${payload}" "tables" 0 "rows" ${row_idx} 0)
+        if(NOT row_n EQUAL 2048)
+          continue()
+        endif()
+        string(JSON row_model GET "${payload}" "tables" 0 "rows" ${row_idx} ${model_col})
+        string(JSON cur_inc GET "${payload}" "tables" 0 "rows" ${row_idx} ${inc_col})
+        foreach(b_idx RANGE ${nb_last_row})
+          string(JSON b_n GET "${baseline}" "tables" 0 "rows" ${b_idx} 0)
+          string(JSON b_model GET "${baseline}" "tables" 0 "rows" ${b_idx} ${model_col})
+          if(b_n EQUAL 2048 AND b_model STREQUAL row_model)
+            string(JSON base_inc GET "${baseline}" "tables" 0 "rows" ${b_idx} ${inc_col})
+            # Fail when cur > 1.25 * base, in integer microseconds.
+            to_micro(cur_us "${cur_inc}")
+            to_micro(base_us "${base_inc}")
+            math(EXPR limit_us "(${base_us} * 125) / 100")
+            if(cur_us GREATER limit_us)
+              message(FATAL_ERROR "collect_bench: E15 inc ms/ev regression at n=2048/${row_model}: "
+                "${cur_inc} ms vs baseline ${base_inc} ms (>25% regression)")
+            endif()
+            message(STATUS "collect_bench: E15 n=2048/${row_model} inc ms/ev ${cur_inc} within "
+              "25% of baseline ${base_inc}")
+          endif()
+        endforeach()
+      endforeach()
+    endif()
   endif()
   string(STRIP "${payload}" payload)
   if(count GREATER 0)

@@ -411,9 +411,9 @@ int cmd_dynamic(const Args& args) {
     balls += st.ball_size;
     if (st.fell_back) ++fallbacks;
     if (!quiet) {
-      std::printf("t=%-8.3f %-5s node=%-5d |ball|=%-5d +%d/-%d edges  %.2f ms%s\n", st.time,
-                  dynamic::to_string(st.kind), st.node, st.ball_size, st.spanner_edges_added,
-                  st.spanner_edges_removed, 1e3 * st.seconds,
+      std::printf("t=%-8.3f %-5s node=%-5d |ball|=%-5d |scope|=%-5d +%d/-%d edges  %.2f ms%s\n",
+                  st.time, dynamic::to_string(st.kind), st.node, st.ball_size, st.certify_scope,
+                  st.spanner_edges_added, st.spanner_edges_removed, 1e3 * st.seconds,
                   st.fell_back ? "  [fallback]" : (st.check_passed ? "" : "  [CHECK FAILED]"));
     }
     stats.push_back(st);
@@ -437,9 +437,9 @@ int cmd_dynamic(const Args& args) {
       os << (i ? ",\n    " : "\n    ");
       char row[256];
       std::snprintf(row, sizeof(row),
-                    "{\"t\": %.6f, \"kind\": \"%s\", \"node\": %d, \"ball\": %d, \"added\": %d, "
-                    "\"removed\": %d, \"fell_back\": %s, \"seconds\": %.6f}",
-                    st.time, dynamic::to_string(st.kind), st.node, st.ball_size,
+                    "{\"t\": %.6f, \"kind\": \"%s\", \"node\": %d, \"ball\": %d, \"scope\": %d, "
+                    "\"added\": %d, \"removed\": %d, \"fell_back\": %s, \"seconds\": %.6f}",
+                    st.time, dynamic::to_string(st.kind), st.node, st.ball_size, st.certify_scope,
                     st.spanner_edges_added, st.spanner_edges_removed,
                     st.fell_back ? "true" : "false", st.seconds);
       os << row;
