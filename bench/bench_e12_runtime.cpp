@@ -2,11 +2,18 @@
 /// Das–Narasimhan acceleration story of §1.4: naive SEQ-GREEDY re-runs a
 /// bounded Dijkstra per edge on the growing spanner, while the relaxed
 /// algorithm answers each bin's queries on the O(1)-hop cluster graph.
-/// google-benchmark timings over an n sweep; the ablation table lives in
-/// bench_e12b_ablation.
-#include <benchmark/benchmark.h>
-
-#include <map>
+/// A second table measures the deterministic parallel construction runtime
+/// (runtime/parallel.hpp): the relaxed build at 1/2/4/8 worker threads with
+/// the speedup over the serial build — the output is bit-identical at every
+/// thread count, so the column is pure wall-clock. The ablation table lives
+/// in bench_e12b_ablation.
+///
+/// Emits the localspan BENCH_E12.json artifact (schema_version 1) so
+/// tools/collect_bench.cmake can validate the threads/speedup columns.
+/// LOCALSPAN_BENCH_QUICK=1 trims sizes for CI smoke runs.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -14,85 +21,98 @@
 #include "core/distributed.hpp"
 #include "core/greedy.hpp"
 #include "core/relaxed_greedy.hpp"
+#include "runtime/parallel.hpp"
 
 using namespace localspan;
+namespace bu = localspan::benchutil;
 
 namespace {
 
-const ubg::UbgInstance& cached_instance(int n) {
-  static std::map<int, ubg::UbgInstance> cache;
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, benchutil::standard_instance(n, 0.75, 12)).first;
+/// Best-of-`reps` wall time of fn(), in seconds.
+template <class Fn>
+double time_best(int reps, const Fn& fn) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (best < 0.0 || s < best) best = s;
   }
-  return it->second;
-}
-
-void BM_SeqGreedy(benchmark::State& state) {
-  const auto& inst = cached_instance(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::seq_greedy(inst.g, 1.5));
-  }
-  state.counters["m"] = static_cast<double>(inst.g.m());
-}
-
-void BM_RelaxedPractical(benchmark::State& state) {
-  const auto& inst = cached_instance(static_cast<int>(state.range(0)));
-  const core::Params params = core::Params::practical_params(0.5, 0.75);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::relaxed_greedy(inst, params));
-  }
-}
-
-void BM_RelaxedStrict(benchmark::State& state) {
-  const auto& inst = cached_instance(static_cast<int>(state.range(0)));
-  const core::Params params = core::Params::strict_params(0.5, 0.75);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::relaxed_greedy(inst, params));
-  }
-}
-
-void BM_Distributed(benchmark::State& state) {
-  const auto& inst = cached_instance(static_cast<int>(state.range(0)));
-  const core::Params params = core::Params::practical_params(0.5, 0.75);
-  for (auto _ : state) {
-    const auto result = core::distributed_relaxed_greedy(inst, params, {}, 12);
-    benchmark::DoNotOptimize(result.base.spanner.m());
-    state.counters["rounds"] = static_cast<double>(result.net.rounds_measured);
-  }
+  return best;
 }
 
 }  // namespace
 
-BENCHMARK(BM_SeqGreedy)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_RelaxedPractical)
-    ->Arg(128)
-    ->Arg(256)
-    ->Arg(512)
-    ->Arg(1024)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_RelaxedStrict)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Distributed)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+int main() {
+  const bool quick = std::getenv("LOCALSPAN_BENCH_QUICK") != nullptr;
+  const double eps = 0.5;
+  const double alpha = 0.75;
+  const int reps = quick ? 1 : 2;
+  const core::Params practical = core::Params::practical_params(eps, alpha);
+  const core::Params strict = core::Params::strict_params(eps, alpha);
 
-// Like BENCHMARK_MAIN(), but defaults to also writing the machine-readable
-// BENCH_E12.json artifact (same convention as the JsonReport benches) unless
-// the caller passes an explicit --benchmark_out.
-int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  bu::JsonReport report("E12");
+  report.meta("eps", eps);
+  report.meta("alpha", alpha);
+  report.meta("quick", std::string(quick ? "yes" : "no"));
+
+  // Table 1: sequential runtime scaling across the algorithm family.
+  {
+    bu::Table table({"algo", "n", "m", "ms"});
+    const std::vector<int> ns = quick ? std::vector<int>{128, 256}
+                                      : std::vector<int>{128, 256, 512, 1024};
+    for (int n : ns) {
+      const ubg::UbgInstance inst = bu::standard_instance(n, alpha, 12);
+      const double seq_ms =
+          1e3 * time_best(reps, [&] { static_cast<void>(core::seq_greedy(inst.g, 1.5).m()); });
+      table.add_row({"seq-greedy", bu::fmt_int(n), bu::fmt_int(inst.g.m()), bu::fmt(seq_ms)});
+      const double rel_ms = 1e3 * time_best(reps, [&] {
+        static_cast<void>(core::relaxed_greedy(inst, practical).spanner.m());
+      });
+      table.add_row(
+          {"relaxed (practical)", bu::fmt_int(n), bu::fmt_int(inst.g.m()), bu::fmt(rel_ms)});
+      if (n <= 512) {
+        const double strict_ms = 1e3 * time_best(reps, [&] {
+          static_cast<void>(core::relaxed_greedy(inst, strict).spanner.m());
+        });
+        table.add_row(
+            {"relaxed (strict)", bu::fmt_int(n), bu::fmt_int(inst.g.m()), bu::fmt(strict_ms)});
+      }
+      if (n <= 512) {
+        const double dist_ms = 1e3 * time_best(reps, [&] {
+          static_cast<void>(core::distributed_relaxed_greedy(inst, practical, {}, 12));
+        });
+        table.add_row({"distributed", bu::fmt_int(n), bu::fmt_int(inst.g.m()), bu::fmt(dist_ms)});
+      }
+    }
+    report.print("E12: sequential runtime scaling", table);
   }
-  std::string out_flag = "--benchmark_out=" + benchutil::bench_json_path("E12");
-  std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
+
+  // Table 2: deterministic parallel construction scaling. One serial
+  // reference per n; every other row reports speedup = serial / parallel
+  // (the topologies are bit-identical, asserted by tests/test_parallel.cpp,
+  // so wall time is the only thing that may differ).
+  {
+    bu::Table table({"n", "threads", "build ms", "speedup"});
+    const std::vector<int> ns = quick ? std::vector<int>{256} : std::vector<int>{1024, 4096};
+    const std::vector<int> threads = quick ? std::vector<int>{1, 2}
+                                           : std::vector<int>{1, 2, 4, 8};
+    for (int n : ns) {
+      const ubg::UbgInstance inst = bu::standard_instance(n, alpha, 12);
+      double serial_ms = 0.0;
+      for (int t : threads) {
+        core::RelaxedGreedyOptions opts;
+        opts.threads = t;
+        const double ms = 1e3 * time_best(reps, [&] {
+          static_cast<void>(core::relaxed_greedy(inst, practical, opts).spanner.m());
+        });
+        if (t == 1) serial_ms = ms;
+        table.add_row({bu::fmt_int(n), bu::fmt_int(t), bu::fmt(ms),
+                       bu::fmt(serial_ms / std::max(ms, 1e-9), 2)});
+      }
+    }
+    report.print("E12: parallel construction scaling (relaxed, practical)", table);
   }
-  int patched_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&patched_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  return report.write() ? 0 : 1;
 }

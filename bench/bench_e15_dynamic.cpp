@@ -35,11 +35,15 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "core/params.hpp"
+#include "core/relaxed_greedy.hpp"
 #include "dynamic/churn.hpp"
 #include "dynamic/dynamic_spanner.hpp"
 #include "graph/sp_workspace.hpp"
+#include "runtime/parallel.hpp"
 
 using namespace localspan;
 namespace bu = localspan::benchutil;
@@ -66,10 +70,22 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
+// The nothrow variants must be replaced too (std::stable_sort's temporary
+// buffer allocates through them; a half-replaced set trips ASan's
+// alloc-dealloc-mismatch check).
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace {
 
@@ -177,27 +193,40 @@ bool alloc_free_steady_state(const core::Params& params) {
   static_cast<void>(ws.bounded(inst.g, 1, 0.5));
   const long long search_allocs = g_allocs.load() - before_search;
 
-  // Local certify: warm the engine scratch with a trace, then count.
-  dynamic::DynamicSpanner engine(inst, params);
-  const dynamic::ChurnTrace trace = make_trace(inst, "poisson", 6, 7);
-  static_cast<void>(engine.apply_all(trace));
-  int live = 0;
-  while (live < engine.instance().g.n() && !engine.is_active(live)) ++live;
-  if (live == engine.instance().g.n()) {
-    std::printf("alloc probe: no live node after warm-up trace\n");
-    return false;
-  }
-  const std::vector<int> modified{live};  // outside the counting window
-  static_cast<void>(engine.certify(modified));
-  const long long before_certify = g_allocs.load();
-  const bool ok = engine.certify(modified);
-  const long long certify_allocs = g_allocs.load() - before_certify;
+  // Local certify: warm the engine scratch with a trace, then count — once
+  // with the serial engine and once at threads=4, so the parallel certify
+  // sweep (per-worker workspaces + pool dispatch) proves the same property.
+  const auto certify_allocs_for = [&](int threads, bool* ok) {
+    dynamic::DynamicOptions opts;
+    opts.threads = threads;
+    dynamic::DynamicSpanner engine(inst, params, opts);
+    const dynamic::ChurnTrace trace = make_trace(inst, "poisson", 6, 7);
+    static_cast<void>(engine.apply_all(trace));
+    int live = 0;
+    while (live < engine.instance().g.n() && !engine.is_active(live)) ++live;
+    if (live == engine.instance().g.n()) {
+      std::printf("alloc probe: no live node after warm-up trace\n");
+      *ok = false;
+      return 1LL;
+    }
+    const std::vector<int> modified{live};  // outside the counting window
+    static_cast<void>(engine.certify(modified));
+    const long long before_certify = g_allocs.load();
+    *ok = engine.certify(modified);
+    return g_allocs.load() - before_certify;
+  };
+  bool ok_serial = false;
+  bool ok_parallel = false;
+  const long long certify_allocs = certify_allocs_for(1, &ok_serial);
+  const long long certify4_allocs = certify_allocs_for(4, &ok_parallel);
 
-  if (search_allocs != 0 || certify_allocs != 0) {
-    std::printf("alloc probe: search=%lld certify=%lld allocations after warm-up\n",
-                search_allocs, certify_allocs);
+  if (search_allocs != 0 || certify_allocs != 0 || certify4_allocs != 0) {
+    std::printf("alloc probe: search=%lld certify=%lld certify@4threads=%lld allocations "
+                "after warm-up\n",
+                search_allocs, certify_allocs, certify4_allocs);
   }
-  return ok && search_allocs == 0 && certify_allocs == 0;
+  return ok_serial && ok_parallel && search_allocs == 0 && certify_allocs == 0 &&
+         certify4_allocs == 0;
 }
 
 }  // namespace
@@ -223,12 +252,13 @@ int main() {
   report.meta("alloc_free_steady_state",
               std::string(alloc_free_steady_state(params) ? "yes" : "no"));
 
-  bu::Table table({"n", "model", "events", "inc ev/s", "inc ms/ev", "scan ms/ev", "disc speedup",
-                   "full ms/ev", "speedup", "mean |B|", "max |B|", "mean scope", "ball frac",
-                   "timed", "fallbacks"});
+  bu::Table table({"n", "model", "threads", "events", "inc ev/s", "inc ms/ev", "scan ms/ev",
+                   "disc speedup", "full ms/ev", "speedup", "mean |B|", "max |B|", "mean scope",
+                   "ball frac", "timed", "fallbacks"});
   const auto add_row = [&](int n, const char* model, const CellResult& res) {
     const std::string na = "n/a";
-    table.add_row({bu::fmt_int(n), model, bu::fmt_int(static_cast<long long>(res.events)),
+    table.add_row({bu::fmt_int(n), model, bu::fmt_int(runtime::default_threads()),
+                   bu::fmt_int(static_cast<long long>(res.events)),
                    bu::fmt(1e3 / std::max(res.inc_ms_per_event, 1e-9), 1),
                    bu::fmt(res.inc_ms_per_event),
                    res.baselines_ran ? bu::fmt(res.scan_ms_per_event) : na,
@@ -259,5 +289,31 @@ int main() {
     add_row(scale_n, "poisson", run_cell(inst, params, trace, 0, true));
   }
   report.print("E15: incremental repair vs full recompute under churn", table);
+
+  // Static-build thread scaling: the full relaxed construction (the
+  // per-event rebuild-baseline cost driver the ROADMAP names) at 1..8
+  // worker threads. The topology is bit-identical at every thread count
+  // (tests/test_parallel.cpp), so the speedup column is pure wall clock.
+  // collect_bench validates the threads/speedup columns are present.
+  {
+    bu::Table scaling({"n", "threads", "build s", "speedup"});
+    const int build_n = quick ? 384 : 16384;
+    const std::vector<int> thread_counts = quick ? std::vector<int>{1, 2}
+                                                 : std::vector<int>{1, 2, 4, 8};
+    const ubg::UbgInstance inst = bu::standard_instance(build_n, alpha, 7);
+    double serial_s = 0.0;
+    for (int t : thread_counts) {
+      core::RelaxedGreedyOptions opts;
+      opts.threads = t;
+      const auto t0 = std::chrono::steady_clock::now();
+      static_cast<void>(core::relaxed_greedy(inst, params, opts).spanner.m());
+      const double s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      if (t == 1) serial_s = s;
+      scaling.add_row({bu::fmt_int(build_n), bu::fmt_int(t), bu::fmt(s),
+                       bu::fmt(serial_s / std::max(s, 1e-9), 2)});
+    }
+    report.print("E15: static relaxed build, thread scaling", scaling);
+  }
   return report.write() ? 0 : 1;
 }

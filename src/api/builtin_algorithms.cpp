@@ -29,6 +29,14 @@ namespace {
 
 const core::VerifyCaps kPolicyCaps{};
 
+/// Shared by every adapter with a parallel construction path. 0 defers to
+/// the LOCALSPAN_THREADS env default (1 when unset); any value produces a
+/// bit-identical topology (tests/test_parallel.cpp enforces this).
+const OptionSpec kThreadsSpec{
+    "threads", OptionType::kInt, "0",
+    "worker threads for the parallel passes (0 = LOCALSPAN_THREADS env, else 1); "
+    "output is bit-identical for every value"};
+
 /// The relaxed-greedy family declares the paper's three properties: stretch
 /// always (Theorem 10 holds for both presets), the degree cap only with the
 /// covered-edge filter on (Theorem 11 needs it), the lightness cap only when
@@ -49,6 +57,9 @@ const core::VerifyCaps kPolicyCaps{};
   core::RelaxedGreedyOptions opts;
   opts.redundancy_removal = req.options.get_bool("redundancy", true);
   opts.covered_edge_filter = req.options.get_bool("covered-filter", true);
+  // Only present for algorithms whose schema declares kThreadsSpec (the
+  // registry rejects it elsewhere); get_int's default keeps the rest serial.
+  opts.threads = req.options.get_int("threads", 0);
   return opts;
 }
 
@@ -64,7 +75,11 @@ class RelaxedAlgorithm final : public SpannerAlgorithm {
         "relaxed",
         "sequential relaxed greedy spanner (the paper's core algorithm)",
         "Damian-Pandit-Pemmaraju PODC'06 §2",
-        kRelaxedOptionSchema,
+        [] {
+          std::vector<OptionSpec> opts = kRelaxedOptionSchema;
+          opts.push_back(kThreadsSpec);
+          return opts;
+        }(),
         {}};
     return kInfo;
   }
@@ -238,7 +253,7 @@ class EdgeFaultTolerantAlgorithm final : public SpannerAlgorithm {
         "ft-edge",
         "greedy k-edge fault-tolerant t-spanner",
         "paper §1.6 ext. 1, Czumaj-Zhao [2]",
-        {{"k", OptionType::kInt, "1", "number of edge faults tolerated (>= 0)"}},
+        {{"k", OptionType::kInt, "1", "number of edge faults tolerated (>= 0)"}, kThreadsSpec},
         {.dim2_only = false, .needs_k = true, .uses_params = true, .randomized = false}};
     return kInfo;
   }
@@ -251,7 +266,9 @@ class EdgeFaultTolerantAlgorithm final : public SpannerAlgorithm {
   }
 
   Construction construct(const BuildRequest& req) const override {
-    return {ext::fault_tolerant_greedy(req.inst.g, req.params.t, req.options.get_int("k", 1)), {}};
+    return {ext::fault_tolerant_greedy(req.inst.g, req.params.t, req.options.get_int("k", 1),
+                                       req.options.get_int("threads", 0)),
+            {}};
   }
 };
 
@@ -262,7 +279,7 @@ class VertexFaultTolerantAlgorithm final : public SpannerAlgorithm {
         "ft-vertex",
         "greedy k-vertex fault-tolerant t-spanner (denser, stronger guarantee)",
         "paper §1.6 ext. 1, Czumaj-Zhao [2]",
-        {{"k", OptionType::kInt, "1", "number of vertex faults tolerated (>= 0)"}},
+        {{"k", OptionType::kInt, "1", "number of vertex faults tolerated (>= 0)"}, kThreadsSpec},
         {.dim2_only = false, .needs_k = true, .uses_params = true, .randomized = false}};
     return kInfo;
   }
@@ -276,7 +293,8 @@ class VertexFaultTolerantAlgorithm final : public SpannerAlgorithm {
 
   Construction construct(const BuildRequest& req) const override {
     return {ext::fault_tolerant_greedy_vertex(req.inst.g, req.params.t,
-                                              req.options.get_int("k", 1)),
+                                              req.options.get_int("k", 1),
+                                              req.options.get_int("threads", 0)),
             {}};
   }
 };
@@ -292,6 +310,7 @@ class EnergyAlgorithm final : public SpannerAlgorithm {
           std::vector<OptionSpec> opts = kRelaxedOptionSchema;
           opts.push_back({"c", OptionType::kDouble, "1.0", "energy cost scale (> 0)"});
           opts.push_back({"gamma", OptionType::kDouble, "2.0", "path-loss exponent (>= 1)"});
+          opts.push_back(kThreadsSpec);
           return opts;
         }(),
         {}};

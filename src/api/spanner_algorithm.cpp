@@ -236,7 +236,19 @@ BuildResult AlgorithmRegistry::build(const std::string& name, const BuildRequest
       res.spanner.n() > 0 ? static_cast<double>(res.spanner.m()) / res.spanner.n() : 0.0;
   res.metrics.max_degree = res.spanner.max_degree();
   if (measure) {
-    res.metrics.stretch = graph::max_edge_stretch(ref, res.spanner);
+    // The stretch pass dominates measurement; run it on the same worker
+    // count the construction was asked for (only meaningful for algorithms
+    // whose schema declares a `threads` option — the value is 0 otherwise,
+    // which defers to the LOCALSPAN_THREADS default). Bit-identical at
+    // every thread count.
+    int measure_threads = 0;
+    for (const OptionSpec& spec : info.options) {
+      if (spec.key == "threads") {
+        measure_threads = req.options.get_int("threads", 0);
+        break;
+      }
+    }
+    res.metrics.stretch = graph::max_edge_stretch(ref, res.spanner, 64.0, measure_threads);
     res.metrics.lightness = graph::lightness(ref, res.spanner);
     const double ref_power = graph::power_cost(ref);
     res.metrics.power_ratio = ref_power > 0.0 ? graph::power_cost(res.spanner) / ref_power : 0.0;

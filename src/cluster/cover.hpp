@@ -16,6 +16,10 @@
 #include "graph/graph.hpp"
 #include "graph/sp_workspace.hpp"
 
+namespace localspan::runtime {
+class WorkerPool;
+}  // namespace localspan::runtime
+
 namespace localspan::cluster {
 
 /// A radius-ρ cluster cover of a (partial spanner) graph.
@@ -43,8 +47,15 @@ struct ClusterCover {
 /// search settled (O(Σ|ball| log |ball|) total instead of O(n · centers)),
 /// and the workspace is reused across centers (and phases) so the steady
 /// state allocates nothing. Produces the identical cover.
+///
+/// With a non-null `pool`, candidate-center balls are computed speculatively
+/// in parallel waves (each ball is a pure function of (gp, u, radius)) and
+/// committed sequentially in vertex-id order, so the cover is bit-identical
+/// to the serial sweep at every thread count; candidates absorbed by an
+/// earlier center in the same wave are discarded at commit.
 [[nodiscard]] ClusterCover sequential_cover(const graph::CsrView& gp, double radius,
-                                            graph::DijkstraWorkspace& ws);
+                                            graph::DijkstraWorkspace& ws,
+                                            runtime::WorkerPool* pool = nullptr);
 
 /// MIS-based construction (§3.2.1): build the proximity graph J on V with
 /// {x,y} ∈ J iff sp_gp(x,y) <= radius; an MIS of J (computed by `mis`, which

@@ -10,6 +10,7 @@
 #include "graph/components.hpp"
 #include "graph/dijkstra.hpp"
 #include "mis/mis.hpp"
+#include "runtime/parallel.hpp"
 
 namespace localspan::core {
 
@@ -84,17 +85,41 @@ std::vector<PhaseEdge> answer_queries(const graph::Graph& h, const std::vector<P
 
 std::vector<PhaseEdge> answer_queries(graph::DijkstraWorkspace& ws, const graph::Graph& h,
                                       const std::vector<PhaseEdge>& queries, double t,
-                                      int* max_hops) {
+                                      int* max_hops, runtime::WorkerPool* pool) {
+  // Each query is an independent early-exit bounded search on the frozen H;
+  // with a pool, answers are harvested in parallel and committed in query
+  // order, so to_add and the hop statistic are identical for every thread
+  // count (max over ints is order-insensitive anyway). The serial path
+  // streams — no per-call answer buffers on the dynamic repair hot path.
   std::vector<PhaseEdge> to_add;
   int worst_hops = 0;
-  for (const PhaseEdge& q : queries) {
-    const double bound = t * q.w;
-    int hops = -1;
-    const double d = cluster::query_on_h(ws, h, q.u, q.v, bound, &hops);
-    if (d <= bound) {
-      worst_hops = std::max(worst_hops, hops);  // answered positively on H
-    } else {
-      to_add.push_back(q);
+  if (pool == nullptr || pool->threads() == 1) {
+    for (const PhaseEdge& q : queries) {
+      const double bound = t * q.w;
+      int hops = -1;
+      const double d = cluster::query_on_h(ws, h, q.u, q.v, bound, &hops);
+      if (d <= bound) {
+        worst_hops = std::max(worst_hops, hops);  // answered positively on H
+      } else {
+        to_add.push_back(q);
+      }
+    }
+  } else {
+    const int k = static_cast<int>(queries.size());
+    std::vector<double> dist(static_cast<std::size_t>(k));
+    std::vector<int> hops(static_cast<std::size_t>(k));
+    pool->for_each(0, k, [&](int worker, int i) {
+      const PhaseEdge& q = queries[static_cast<std::size_t>(i)];
+      dist[static_cast<std::size_t>(i)] = cluster::query_on_h(
+          pool->workspace(worker), h, q.u, q.v, t * q.w, &hops[static_cast<std::size_t>(i)]);
+    });
+    for (int i = 0; i < k; ++i) {
+      const PhaseEdge& q = queries[static_cast<std::size_t>(i)];
+      if (dist[static_cast<std::size_t>(i)] <= t * q.w) {
+        worst_hops = std::max(worst_hops, hops[static_cast<std::size_t>(i)]);
+      } else {
+        to_add.push_back(q);
+      }
     }
   }
   if (max_hops != nullptr) *max_hops = worst_hops;
@@ -108,7 +133,8 @@ graph::Graph redundancy_conflict_graph(const graph::Graph& h, const std::vector<
 }
 
 graph::Graph redundancy_conflict_graph(graph::DijkstraWorkspace& ws, const graph::Graph& h,
-                                       const std::vector<PhaseEdge>& added, double t1) {
+                                       const std::vector<PhaseEdge>& added, double t1,
+                                       runtime::WorkerPool* pool) {
   const int k = static_cast<int>(added.size());
   graph::Graph j(k);
   if (k < 2) return j;
@@ -136,15 +162,18 @@ graph::Graph redundancy_conflict_graph(graph::DijkstraWorkspace& ws, const graph
 
   // One bounded search per endpoint, kept *sparse*: only distances to other
   // endpoints survive (harvested from the touched list, so each row costs
-  // O(|ball|), not O(k) — and nothing is O(n)).
+  // O(|ball|), not O(k) — and nothing is O(n)). The rows are independent
+  // pure functions of (h, endpoint, bound), so with a pool they are
+  // harvested in parallel; the pair sweep below reads them in the fixed
+  // edge order either way.
   std::vector<std::vector<std::pair<int, double>>> rows(static_cast<std::size_t>(ne));
-  for (int r = 0; r < ne; ++r) {
-    const graph::SpView sp = ws.bounded(h, endpoints[static_cast<std::size_t>(r)], bound);
+  runtime::for_each_with_workspace(pool, ws, 0, ne, [&](graph::DijkstraWorkspace& wws, int r) {
+    const graph::SpView sp = wws.bounded(h, endpoints[static_cast<std::size_t>(r)], bound);
     for (int v : sp.touched()) {
       const int q = index_of[static_cast<std::size_t>(v)];
       if (q != -1) rows[static_cast<std::size_t>(r)].push_back({q, sp.dist(v)});
     }
-  }
+  });
 
   // Enumerate only pairs that can possibly conflict. Both §2.2.5 pairings
   // need sp(e.u, f.u) or sp(e.u, f.v) finite within the bound, so every
@@ -203,8 +232,9 @@ std::vector<int> redundant_edge_removal(
 
 std::vector<int> redundant_edge_removal(
     graph::DijkstraWorkspace& ws, const graph::Graph& h, const std::vector<PhaseEdge>& added,
-    double t1, const std::function<std::vector<int>(const graph::Graph&)>& mis) {
-  const graph::Graph j = redundancy_conflict_graph(ws, h, added, t1);
+    double t1, const std::function<std::vector<int>(const graph::Graph&)>& mis,
+    runtime::WorkerPool* pool) {
+  const graph::Graph j = redundancy_conflict_graph(ws, h, added, t1, pool);
   if (j.m() == 0) return {};
   const std::vector<int> keep = mis(j);
   std::vector<char> kept(static_cast<std::size_t>(j.n()), 0);
@@ -318,6 +348,17 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
   graph::DijkstraWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : run_ws;
   graph::CsrView csr;
 
+  // Worker team for the embarrassingly parallel passes: the caller's pool
+  // when provided (long-lived engines), else a run-local pool when more than
+  // one thread is requested, else the serial path (pool == nullptr). Every
+  // result is bit-identical across thread counts — see RelaxedGreedyOptions.
+  std::optional<runtime::WorkerPool> run_pool;
+  runtime::WorkerPool* pool = opts.worker_pool;
+  if (pool == nullptr) {
+    const int threads = runtime::resolve_threads(opts.threads);
+    if (threads > 1) pool = &run_pool.emplace(threads);
+  }
+
   // Phases i >= 1, skipping empty bins (recomputation is from G' alone, so
   // skipping is a pure optimization).
   for (int i = 1; i < static_cast<int>(bins.size()); ++i) {
@@ -336,22 +377,42 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
 
     // (i) cluster cover of G'_{i-1}, on a frozen CSR snapshot of it.
     csr.assign(result.spanner);
-    const cluster::ClusterCover cover = cluster::sequential_cover(csr, radius, ws);
+    const cluster::ClusterCover cover = cluster::sequential_cover(csr, radius, ws, pool);
     st.clusters = static_cast<int>(cover.centers.size());
 
-    // (ii) covered-edge filter + candidate selection.
-    std::vector<PhaseEdge> candidates;
-    for (const graph::Edge& e : bin) {
+    // (ii) covered-edge filter + candidate selection. Each edge's status is
+    // a pure function of (inst, G'_{i-1}, edge), so the θ-cone tests run in
+    // parallel; candidates are committed in bin order.
+    enum : char { kAlready, kCovered, kCandidate };
+    std::vector<char> status(bin.size(), kCandidate);
+    std::vector<double> lens(bin.size(), 0.0);  // Euclidean length, computed once
+    const auto classify = [&](int i) {
+      const graph::Edge& e = bin[static_cast<std::size_t>(i)];
       if (result.spanner.has_edge(e.u, e.v)) {
-        ++st.already_in_spanner;
-        continue;
+        status[static_cast<std::size_t>(i)] = kAlready;
+        return;
       }
-      const PhaseEdge pe{e.u, e.v, inst.dist(e.u, e.v), e.w};
+      const double len = inst.dist(e.u, e.v);
+      lens[static_cast<std::size_t>(i)] = len;
       if (opts.covered_edge_filter &&
-          detail::is_covered_edge(inst, result.spanner, pe, params.theta)) {
+          detail::is_covered_edge(inst, result.spanner, {e.u, e.v, len, e.w}, params.theta)) {
+        status[static_cast<std::size_t>(i)] = kCovered;
+      }
+    };
+    if (pool != nullptr && pool->threads() > 1) {
+      pool->for_each(0, static_cast<int>(bin.size()), [&](int, int i) { classify(i); });
+    } else {
+      for (int i = 0; i < static_cast<int>(bin.size()); ++i) classify(i);
+    }
+    std::vector<PhaseEdge> candidates;
+    for (std::size_t i = 0; i < bin.size(); ++i) {
+      const graph::Edge& e = bin[i];
+      if (status[i] == kAlready) {
+        ++st.already_in_spanner;
+      } else if (status[i] == kCovered) {
         ++st.covered;
       } else {
-        candidates.push_back(pe);
+        candidates.push_back({e.u, e.v, lens[i], e.w});
       }
     }
     st.candidates = static_cast<int>(candidates.size());
@@ -361,20 +422,20 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
     st.queries = static_cast<int>(queries.size());
 
     // (iii) cluster graph of G'_{i-1} (same snapshot as the cover).
-    const cluster::ClusterGraph cg = cluster::build_cluster_graph(csr, cover, w_prev, ws);
+    const cluster::ClusterGraph cg = cluster::build_cluster_graph(csr, cover, w_prev, ws, pool);
     st.max_inter_degree = cg.max_inter_degree;
     st.max_inter_weight = cg.max_inter_weight;
 
     // (iv) shortest-path queries on H (lazy update: all answered before adds).
     const std::vector<PhaseEdge> to_add =
-        detail::answer_queries(ws, cg.h, queries, params.t, &st.max_query_hops);
+        detail::answer_queries(ws, cg.h, queries, params.t, &st.max_query_hops, pool);
     for (const PhaseEdge& e : to_add) result.spanner.add_edge(e.u, e.v, e.w);
     st.added = static_cast<int>(to_add.size());
 
     // (v) redundant edge removal.
     if (opts.redundancy_removal && to_add.size() >= 2) {
       const std::vector<int> removal =
-          detail::redundant_edge_removal(ws, cg.h, to_add, params.t1, mis_fn);
+          detail::redundant_edge_removal(ws, cg.h, to_add, params.t1, mis_fn, pool);
       for (int idx : removal) {
         const PhaseEdge& e = to_add[static_cast<std::size_t>(idx)];
         result.spanner.remove_edge(e.u, e.v);

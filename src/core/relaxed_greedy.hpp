@@ -25,6 +25,10 @@
 #include "graph/graph.hpp"
 #include "ubg/generator.hpp"
 
+namespace localspan::runtime {
+class WorkerPool;
+}  // namespace localspan::runtime
+
 namespace localspan::core {
 
 /// Per-phase trace: one row per processed bin, aggregating everything the
@@ -77,6 +81,21 @@ struct RelaxedGreedyOptions {
   /// steady state stops allocating scratch. Null => a run-local workspace.
   /// Non-owning; must outlive every relaxed_greedy call it is passed to.
   graph::DijkstraWorkspace* workspace = nullptr;
+
+  /// Worker threads for the embarrassingly parallel passes (cover ball
+  /// computation, cluster-graph center sweeps, covered-edge filtering,
+  /// H-queries, §2.2.5 redundancy endpoint balls). 0 = the process default
+  /// (LOCALSPAN_THREADS env, else 1). The construction is **bit-identical**
+  /// at every thread count: parallel phases compute state-independent
+  /// per-item results and all commits stay in the serial order
+  /// (tests/test_parallel.cpp enforces this across the scenario matrix).
+  int threads = 0;
+
+  /// Optional caller-owned worker pool (thread pool + per-worker
+  /// workspaces), overriding `threads`. Long-lived engines share one pool
+  /// across runs so repeated repairs spawn no threads and allocate no
+  /// per-worker scratch. Non-owning; must outlive every call.
+  runtime::WorkerPool* worker_pool = nullptr;
 };
 
 /// Outcome of a (sequential or distributed) run.
@@ -128,11 +147,14 @@ struct PhaseEdge {
                                                     double t, int* max_hops);
 
 /// Workspace-backed overload: one early-exit bounded search per query, no
-/// per-query allocation once the workspace is warm.
+/// per-query allocation once the workspace is warm. With a pool the
+/// per-query searches run in parallel (results committed in query order —
+/// bit-identical to serial).
 [[nodiscard]] std::vector<PhaseEdge> answer_queries(graph::DijkstraWorkspace& ws,
                                                     const graph::Graph& h,
                                                     const std::vector<PhaseEdge>& queries,
-                                                    double t, int* max_hops);
+                                                    double t, int* max_hops,
+                                                    runtime::WorkerPool* pool = nullptr);
 
 /// §2.2.5: find mutually redundant pairs among `added`, build the conflict
 /// graph J (one node per edge participating in >= 1 pair), run `mis` on it
@@ -143,7 +165,8 @@ struct PhaseEdge {
 
 [[nodiscard]] std::vector<int> redundant_edge_removal(
     graph::DijkstraWorkspace& ws, const graph::Graph& h, const std::vector<PhaseEdge>& added,
-    double t1, const std::function<std::vector<int>(const graph::Graph&)>& mis);
+    double t1, const std::function<std::vector<int>(const graph::Graph&)>& mis,
+    runtime::WorkerPool* pool = nullptr);
 
 /// The conflict graph J of §2.2.5 alone (for Lemma 20 doubling-dimension
 /// experiments): node k = added[k]; edges connect mutually redundant pairs.
@@ -151,10 +174,14 @@ struct PhaseEdge {
                                                      const std::vector<PhaseEdge>& added,
                                                      double t1);
 
+/// With a pool the §2.2.5 endpoint-ball harvests (one bounded search per
+/// distinct endpoint — the dominant cost) run on the workers; the pair sweep
+/// and J construction stay sequential, so J is bit-identical to serial.
 [[nodiscard]] graph::Graph redundancy_conflict_graph(graph::DijkstraWorkspace& ws,
                                                      const graph::Graph& h,
                                                      const std::vector<PhaseEdge>& added,
-                                                     double t1);
+                                                     double t1,
+                                                     runtime::WorkerPool* pool = nullptr);
 
 }  // namespace detail
 

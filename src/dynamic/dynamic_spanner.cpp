@@ -1,6 +1,7 @@
 #include "dynamic/dynamic_spanner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
@@ -71,6 +72,17 @@ DynamicSpanner::DynamicSpanner(ubg::UbgInstance inst, const core::Params& params
   // workspace so the steady state reuses its buffers, unless the caller
   // supplied a workspace of their own.
   if (opts_.greedy.workspace == nullptr) opts_.greedy.workspace = &greedy_ws_;
+  // One long-lived worker team serves the local reruns and the certify
+  // sweep; spawning it once keeps the per-event steady state thread- and
+  // allocation-free. A thread request on the nested greedy options counts
+  // too — otherwise every per-event rerun would spawn its own run-local
+  // pool, which is exactly what the engine-owned pool exists to prevent.
+  const int engine_threads =
+      runtime::resolve_threads(opts_.threads > 0 ? opts_.threads : opts_.greedy.threads);
+  if (engine_threads > 1 && opts_.greedy.worker_pool == nullptr) {
+    pool_.emplace(engine_threads);
+    opts_.greedy.worker_pool = &*pool_;
+  }
   full_recompute();
 }
 
@@ -312,7 +324,7 @@ bool DynamicSpanner::certify(const std::vector<int>& modified, int* scope_size_o
   };
   // Re-derivation tolerance: witness weights are sums of O(1/wmin) doubles.
   const double slack = 1.0 + 1e-9;
-  const auto vertex_ok = [&](int u) {
+  const auto vertex_ok = [&](graph::DijkstraWorkspace& vws, int u) {
     if (spanner_.degree(u) > opts_.caps.max_degree) return false;
     // One bounded witness search per vertex answers all of its edge checks
     // (batching: the single t·wmax(u) ball costs less than one ball per
@@ -325,7 +337,7 @@ bool DynamicSpanner::certify(const std::vector<int>& modified, int* scope_size_o
       wmax_u = std::max(wmax_u, active_weight(nb.w));
     }
     if (wmax_u == 0.0) return true;
-    const graph::SpView sp = ws_.bounded(spanner_, u, params_.t * wmax_u * slack);
+    const graph::SpView sp = vws.bounded(spanner_, u, params_.t * wmax_u * slack);
     for (const graph::Neighbor& nb : inst_.g.neighbors(u)) {
       if (scoped(nb.to) && nb.to < u) continue;
       // spanner_ edge weights are already in active (transformed) units —
@@ -337,23 +349,30 @@ bool DynamicSpanner::certify(const std::vector<int>& modified, int* scope_size_o
     }
     return true;
   };
-  if (full_scope) {
-    for (int u = 0; u < inst_.g.n(); ++u) {
-      if (!vertex_ok(u)) {
-        reset_scope();
-        return false;
-      }
-    }
+  bool all_ok = true;
+  const int scope_count = full_scope ? inst_.g.n() : static_cast<int>(scratch_scoped_.size());
+  runtime::WorkerPool* const pool =
+      pool_.has_value() ? &*pool_ : opts_.greedy.worker_pool;  // caller-owned pools count too
+  if (pool != nullptr && pool->threads() > 1) {
+    // Per-vertex checks are independent reads of the frozen spanner/UBG;
+    // each worker uses its own workspace and the reduction is a boolean
+    // AND, so the verdict matches the serial sweep exactly. The relaxed
+    // flag only short-circuits remaining work after a failure.
+    std::atomic<bool> ok{true};
+    pool->for_each(0, scope_count, [&](int worker, int i) {
+      if (!ok.load(std::memory_order_relaxed)) return;
+      const int u = full_scope ? i : scratch_scoped_[static_cast<std::size_t>(i)];
+      if (!vertex_ok(pool->workspace(worker), u)) ok.store(false, std::memory_order_relaxed);
+    });
+    all_ok = ok.load(std::memory_order_relaxed);
   } else {
-    for (int u : scratch_scoped_) {
-      if (!vertex_ok(u)) {
-        reset_scope();
-        return false;
-      }
+    for (int i = 0; i < scope_count && all_ok; ++i) {
+      const int u = full_scope ? i : scratch_scoped_[static_cast<std::size_t>(i)];
+      all_ok = vertex_ok(ws_, u);
     }
   }
   reset_scope();
-  return true;
+  return all_ok;
 }
 
 RepairStats DynamicSpanner::apply(const ChurnEvent& ev) {

@@ -41,7 +41,11 @@
 #include "geom/dynamic_grid.hpp"
 #include "graph/graph.hpp"
 #include "graph/sp_workspace.hpp"
+#include "runtime/parallel.hpp"
 #include "ubg/generator.hpp"
+
+#include <memory>
+#include <optional>
 
 namespace localspan::dynamic {
 
@@ -91,6 +95,15 @@ struct DynamicOptions {
 
   /// Degree/lightness caps enforced by the checker (lightness at kFull only).
   core::VerifyCaps caps;
+
+  /// Worker threads for the parallel passes: the local reruns / full
+  /// recomputes (threaded through greedy.threads unless the caller set a
+  /// pool of their own) and the per-vertex certify sweep. 0 = the process
+  /// default (LOCALSPAN_THREADS env, else 1). The maintained spanner is
+  /// bit-identical at every thread count; the engine owns one long-lived
+  /// pool, so the steady state spawns no threads and the warmed certify
+  /// still allocates nothing.
+  int threads = 0;
 };
 
 /// Per-event repair telemetry (the E15 bench aggregates these).
@@ -217,6 +230,13 @@ class DynamicSpanner {
   /// via opts_.greedy.workspace, so repeated repairs reuse one set of
   /// search buffers.
   graph::DijkstraWorkspace greedy_ws_;
+  /// Long-lived worker team (engaged when the resolved thread count > 1):
+  /// handed to relaxed_greedy via opts_.greedy.worker_pool and used by the
+  /// certify sweep, so repeated events reuse the same threads and per-worker
+  /// workspaces. Mutable because certify() is logically const. Vertex
+  /// results are combined with a single boolean AND, so certification is
+  /// deterministic at every thread count.
+  mutable std::optional<runtime::WorkerPool> pool_;
 };
 
 }  // namespace localspan::dynamic

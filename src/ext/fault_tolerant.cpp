@@ -6,6 +6,7 @@
 
 #include "graph/dijkstra.hpp"
 #include "graph/sp_workspace.hpp"
+#include "runtime/parallel.hpp"
 
 namespace localspan::ext {
 
@@ -59,44 +60,93 @@ int disjoint_bounded_vertex_paths(graph::DijkstraWorkspace& ws, graph::Graph g, 
   return found;
 }
 
-}  // namespace
-
-graph::Graph fault_tolerant_greedy_vertex(const graph::Graph& g, double t, int k) {
-  if (!(t >= 1.0)) throw std::invalid_argument("fault_tolerant_greedy_vertex: t must be >= 1");
-  if (k < 0) throw std::invalid_argument("fault_tolerant_greedy_vertex: k must be >= 0");
+/// Shared driver for both greedy variants. `has_enough(ws, out, e)` answers
+/// "does `out` already hold k+1 sufficiently short disjoint uv-paths?" — a
+/// pure function of the output snapshot it is handed.
+///
+/// The serial loop checks each sorted edge against the current output. The
+/// parallel path speculates: a wave of upcoming edges is checked against a
+/// snapshot of `out` on the workers, then results are consumed in edge
+/// order. A "skip" result is valid as long as no earlier wave edge was
+/// added (the output is still exactly the snapshot); the first edge that
+/// must be *added* invalidates the remaining results (the greedy peel count
+/// is not monotone under edge insertion in either direction), so the wave
+/// ends there and the next wave re-checks from the following edge. Consumed
+/// decisions therefore always saw exactly the serial algorithm's output
+/// state — the result is bit-identical at every thread count. The wave size
+/// adapts: skip-only waves widen the window (the common regime once the
+/// output is dense enough), an add shrinks it back toward one chunk per
+/// worker to bound the speculation waste.
+template <class HasEnough>
+graph::Graph ft_greedy_drive(const graph::Graph& g, int threads, const HasEnough& has_enough) {
   std::vector<graph::Edge> es = g.edges();
   std::sort(es.begin(), es.end(), [](const graph::Edge& a, const graph::Edge& b) {
     if (a.w != b.w) return a.w < b.w;
     return a.u != b.u ? a.u < b.u : a.v < b.v;
   });
   graph::Graph out(g.n());
-  graph::DijkstraWorkspace ws(g.n());
-  for (const graph::Edge& e : es) {
-    const double bound = t * e.w;
-    if (disjoint_bounded_vertex_paths(ws, out, e.u, e.v, bound, k + 1) < k + 1) {
-      out.add_edge(e.u, e.v, e.w);
+  const int nthreads = runtime::resolve_threads(threads);
+  if (nthreads == 1) {
+    graph::DijkstraWorkspace ws(g.n());
+    for (const graph::Edge& e : es) {
+      if (!has_enough(ws, out, e)) out.add_edge(e.u, e.v, e.w);
     }
+    return out;
+  }
+  runtime::WorkerPool pool(nthreads);
+  const int m = static_cast<int>(es.size());
+  int wave_cap = pool.threads();
+  const int wave_max = 16 * pool.threads();
+  std::vector<char> enough;
+  int idx = 0;
+  while (idx < m) {
+    const int wave = std::min(wave_cap, m - idx);
+    enough.assign(static_cast<std::size_t>(wave), 0);
+    pool.for_each(0, wave, [&](int worker, int i) {
+      enough[static_cast<std::size_t>(i)] =
+          has_enough(pool.workspace(worker), out, es[static_cast<std::size_t>(idx + i)]) ? 1 : 0;
+    });
+    int consumed = 0;
+    bool added = false;
+    for (int i = 0; i < wave; ++i) {
+      const graph::Edge& e = es[static_cast<std::size_t>(idx + i)];
+      if (enough[static_cast<std::size_t>(i)]) {
+        ++consumed;
+        continue;
+      }
+      out.add_edge(e.u, e.v, e.w);
+      ++consumed;
+      added = true;
+      break;  // output changed: the rest of the wave saw a stale snapshot
+    }
+    idx += consumed;
+    wave_cap = added ? std::max(pool.threads(), wave_cap / 2) : std::min(wave_cap * 2, wave_max);
   }
   return out;
 }
 
-graph::Graph fault_tolerant_greedy(const graph::Graph& g, double t, int k) {
+}  // namespace
+
+graph::Graph fault_tolerant_greedy_vertex(const graph::Graph& g, double t, int k, int threads) {
+  if (!(t >= 1.0)) throw std::invalid_argument("fault_tolerant_greedy_vertex: t must be >= 1");
+  if (k < 0) throw std::invalid_argument("fault_tolerant_greedy_vertex: k must be >= 0");
+  return ft_greedy_drive(g, threads,
+                         [&](graph::DijkstraWorkspace& ws, const graph::Graph& out,
+                             const graph::Edge& e) {
+                           return disjoint_bounded_vertex_paths(ws, out, e.u, e.v, t * e.w,
+                                                                k + 1) >= k + 1;
+                         });
+}
+
+graph::Graph fault_tolerant_greedy(const graph::Graph& g, double t, int k, int threads) {
   if (!(t >= 1.0)) throw std::invalid_argument("fault_tolerant_greedy: t must be >= 1");
   if (k < 0) throw std::invalid_argument("fault_tolerant_greedy: k must be >= 0");
-  std::vector<graph::Edge> es = g.edges();
-  std::sort(es.begin(), es.end(), [](const graph::Edge& a, const graph::Edge& b) {
-    if (a.w != b.w) return a.w < b.w;
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  graph::Graph out(g.n());
-  graph::DijkstraWorkspace ws(g.n());
-  for (const graph::Edge& e : es) {
-    const double bound = t * e.w;
-    if (disjoint_bounded_paths(ws, out, e.u, e.v, bound, k + 1) < k + 1) {
-      out.add_edge(e.u, e.v, e.w);
-    }
-  }
-  return out;
+  return ft_greedy_drive(g, threads,
+                         [&](graph::DijkstraWorkspace& ws, const graph::Graph& out,
+                             const graph::Edge& e) {
+                           return disjoint_bounded_paths(ws, out, e.u, e.v, t * e.w, k + 1) >=
+                                  k + 1;
+                         });
 }
 
 graph::Graph inject_edge_faults(const graph::Graph& g, int faults, std::uint64_t seed,

@@ -2,41 +2,65 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <random>
 #include <stdexcept>
 
 #include "graph/dijkstra.hpp"
 #include "graph/mst.hpp"
 #include "graph/sp_workspace.hpp"
+#include "runtime/parallel.hpp"
 
 namespace localspan::graph {
 
-double max_edge_stretch(const Graph& g, const Graph& sub, double cap) {
+double max_edge_stretch(const Graph& g, const Graph& sub, double cap, int threads,
+                        runtime::WorkerPool* pool) {
   if (g.n() != sub.n()) throw std::invalid_argument("max_edge_stretch: vertex count mismatch");
   if (g.m() == 0) return 1.0;
   // One bounded Dijkstra per vertex answers all incident-edge queries; the
   // workspace + CSR snapshot keep each one O(|ball|) in time AND memory
   // traffic (the dense version allocated a fresh O(n) result per vertex —
-  // O(n^2) traffic for a linear-size answer).
+  // O(n^2) traffic for a linear-size answer). The per-vertex passes are
+  // independent; the parallel reduction is max over doubles, which is exact
+  // under any order, so every thread count returns the identical value.
   const CsrView sub_csr(sub);
-  DijkstraWorkspace ws(g.n());
-  double worst = 1.0;
-  for (int u = 0; u < g.n(); ++u) {
+  const auto vertex_worst = [&](DijkstraWorkspace& ws, int u) {
     double max_w = 0.0;
     for (const Neighbor& nb : g.neighbors(u)) max_w = std::max(max_w, nb.w);
-    if (max_w == 0.0) continue;
+    if (max_w == 0.0) return 1.0;
     const SpView sp = ws.bounded(sub_csr, u, cap * max_w);
+    double worst = 1.0;
     for (const Neighbor& nb : g.neighbors(u)) {
       if (nb.to < u) continue;  // each edge once
       const double d = sp.dist(nb.to);
       const double ratio = d == kInf ? cap : std::min(cap, d / nb.w);
       worst = std::max(worst, ratio);
     }
+    return worst;
+  };
+  std::optional<runtime::WorkerPool> local_pool;
+  if (pool == nullptr) {
+    const int nthreads = runtime::resolve_threads(threads);
+    if (nthreads > 1) pool = &local_pool.emplace(nthreads);
   }
+  if (pool == nullptr || pool->threads() == 1) {
+    DijkstraWorkspace ws(g.n());
+    double worst = 1.0;
+    for (int u = 0; u < g.n(); ++u) worst = std::max(worst, vertex_worst(ws, u));
+    return worst;
+  }
+  std::vector<double> per_worker(static_cast<std::size_t>(pool->threads()), 1.0);
+  pool->for_each(0, g.n(), [&](int worker, int u) {
+    double& worst = per_worker[static_cast<std::size_t>(worker)];
+    worst = std::max(worst, vertex_worst(pool->workspace(worker), u));
+  });
+  double worst = 1.0;
+  for (double w : per_worker) worst = std::max(worst, w);
   return worst;
 }
 
-double sampled_pair_stretch(const Graph& g, const Graph& sub, int samples, std::uint64_t seed) {
+double sampled_pair_stretch(const Graph& g, const Graph& sub, std::int64_t samples,
+                            std::uint64_t seed, int threads, runtime::WorkerPool* pool) {
   if (g.n() != sub.n()) throw std::invalid_argument("sampled_pair_stretch: vertex count mismatch");
   if (g.n() < 2 || samples <= 0) return 1.0;
   std::mt19937_64 rng(seed);
@@ -49,7 +73,7 @@ double sampled_pair_stretch(const Graph& g, const Graph& sub, int samples, std::
   };
   std::vector<Sample> pairs;
   pairs.reserve(static_cast<std::size_t>(samples));
-  for (int s = 0; s < samples; ++s) {
+  for (std::int64_t s = 0; s < samples; ++s) {
     const int u = pick(rng);
     int v = pick(rng);
     if (v == u) v = (v + 1) % g.n();
@@ -57,28 +81,65 @@ double sampled_pair_stretch(const Graph& g, const Graph& sub, int samples, std::
   }
   std::stable_sort(pairs.begin(), pairs.end(),
                    [](const Sample& a, const Sample& b) { return a.u < b.u; });
-  DijkstraWorkspace ws(g.n());
-  std::vector<double> dg_run;  // dist-in-g per pair of the current source run
-  double worst = 1.0;
+  // Source-group boundaries, so groups can be processed independently (and,
+  // with threads, in parallel: each group's worst ratio depends only on the
+  // two frozen graphs; the max reduction is exact under any order).
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
   for (std::size_t i = 0; i < pairs.size();) {
-    const int u = pairs[i].u;
     std::size_t end = i;
-    while (end < pairs.size() && pairs[end].u == u) ++end;
+    while (end < pairs.size() && pairs[end].u == pairs[i].u) ++end;
+    groups.push_back({i, end});
+    i = end;
+  }
+  const auto group_worst = [&](DijkstraWorkspace& ws, std::vector<double>& dg_run,
+                               std::size_t begin, std::size_t end) {
+    const int u = pairs[begin].u;
     dg_run.clear();
     {
       const SpView in_g = ws.bounded(g, u, kInf);
-      for (std::size_t s = i; s < end; ++s) dg_run.push_back(in_g.dist(pairs[s].v));
+      for (std::size_t s = begin; s < end; ++s) dg_run.push_back(in_g.dist(pairs[s].v));
     }
     const SpView in_sub = ws.bounded(sub, u, kInf);
-    for (std::size_t s = i; s < end; ++s) {
-      const double dg = dg_run[s - i];
+    double worst = 1.0;
+    for (std::size_t s = begin; s < end; ++s) {
+      const double dg = dg_run[s - begin];
       if (dg == kInf || dg == 0.0) continue;
       const double ds = in_sub.dist(pairs[s].v);
       worst = std::max(worst, ds == kInf ? kInf : ds / dg);
     }
-    i = end;
+    return worst;
+  };
+  std::optional<runtime::WorkerPool> local_pool;
+  if (pool == nullptr) {
+    const int nthreads = runtime::resolve_threads(threads);
+    if (nthreads > 1) pool = &local_pool.emplace(nthreads);
   }
+  if (pool == nullptr || pool->threads() == 1) {
+    DijkstraWorkspace ws(g.n());
+    std::vector<double> dg_run;  // dist-in-g per pair of the current source run
+    double worst = 1.0;
+    for (const auto& [begin, end] : groups) {
+      worst = std::max(worst, group_worst(ws, dg_run, begin, end));
+    }
+    return worst;
+  }
+  std::vector<double> per_worker(static_cast<std::size_t>(pool->threads()), 1.0);
+  std::vector<std::vector<double>> dg_runs(static_cast<std::size_t>(pool->threads()));
+  pool->for_each(0, static_cast<int>(groups.size()), [&](int worker, int i) {
+    const auto& [begin, end] = groups[static_cast<std::size_t>(i)];
+    double& worst = per_worker[static_cast<std::size_t>(worker)];
+    worst = std::max(worst, group_worst(pool->workspace(worker),
+                                        dg_runs[static_cast<std::size_t>(worker)], begin, end));
+  });
+  double worst = 1.0;
+  for (double w : per_worker) worst = std::max(worst, w);
   return worst;
+}
+
+std::int64_t quantile_index(std::int64_t count, double q) {
+  if (count <= 0) return -1;
+  const auto raw = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count))) - 1;
+  return std::min(count - 1, std::max<std::int64_t>(0, raw));
 }
 
 DegreeStats degree_stats(const Graph& g) {
@@ -93,8 +154,8 @@ DegreeStats degree_stats(const Graph& g) {
   std::sort(deg.begin(), deg.end());
   st.max = deg.back();
   st.mean = static_cast<double>(sum) / g.n();
-  st.p99 = deg[static_cast<std::size_t>(std::min<std::size_t>(
-      deg.size() - 1, static_cast<std::size_t>(std::ceil(0.99 * g.n())) - 1))];
+  st.p99 = deg[static_cast<std::size_t>(
+      std::max<std::int64_t>(0, quantile_index(static_cast<std::int64_t>(deg.size()), 0.99)))];
   return st;
 }
 
@@ -133,15 +194,15 @@ double leapfrog_rhs(const std::vector<std::pair<int, int>>& arr,
 
 }  // namespace
 
-int leapfrog_violations(const Graph& sub, const std::function<double(int, int)>& pts_dist,
-                        double t2, double t, int trials, std::uint64_t seed) {
+std::int64_t leapfrog_violations(const Graph& sub, const std::function<double(int, int)>& pts_dist,
+                                 double t2, double t, std::int64_t trials, std::uint64_t seed) {
   const std::vector<Edge> es = sub.edges();
   if (es.size() < 2) return 0;
   std::mt19937_64 rng(seed);
   std::uniform_int_distribution<std::size_t> pick(0, es.size() - 1);
   std::uniform_int_distribution<int> subset_size(2, 6);
-  int violations = 0;
-  for (int trial = 0; trial < trials; ++trial) {
+  std::int64_t violations = 0;
+  for (std::int64_t trial = 0; trial < trials; ++trial) {
     const int s = std::min<int>(subset_size(rng), static_cast<int>(es.size()));
     std::vector<Edge> sset;
     while (static_cast<int>(sset.size()) < s) {

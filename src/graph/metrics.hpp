@@ -12,6 +12,10 @@
 
 #include "graph/graph.hpp"
 
+namespace localspan::runtime {
+class WorkerPool;
+}  // namespace localspan::runtime
+
 namespace localspan::graph {
 
 /// Max over edges {u,v} of g of sp_sub(u,v)/w(u,v), with per-edge ratios
@@ -19,15 +23,33 @@ namespace localspan::graph {
 /// all a bounded-stretch validation needs and keeps the measurement cheap).
 /// For subgraphs of g this equals the classical spanner stretch factor:
 /// sp_sub(u,v) <= t·sp_g(u,v) for all pairs iff it holds for all edges of g.
-[[nodiscard]] double max_edge_stretch(const Graph& g, const Graph& sub, double cap = 64.0);
+///
+/// `threads` > 1 splits the per-vertex searches over a worker pool (each
+/// vertex's worst ratio is independent; max over doubles is exact under any
+/// reduction order, so the result is bit-identical to the serial pass);
+/// <= 0 uses the process default (LOCALSPAN_THREADS, else 1). A non-null
+/// caller-owned `pool` overrides `threads` — repeated-measurement loops
+/// reuse one pool instead of spawning threads per call.
+[[nodiscard]] double max_edge_stretch(const Graph& g, const Graph& sub, double cap = 64.0,
+                                      int threads = 0, runtime::WorkerPool* pool = nullptr);
 
 /// Stretch over `samples` random vertex pairs (ratio of sp_sub to sp_g);
 /// pairs disconnected in g are skipped. Cross-validates max_edge_stretch.
 /// Samples are grouped by source vertex, so a source drawn k times costs
 /// its two unbounded searches once, not k times (the drawn pair set is
-/// identical either way).
-[[nodiscard]] double sampled_pair_stretch(const Graph& g, const Graph& sub, int samples,
-                                          std::uint64_t seed);
+/// identical either way). The sample count is 64-bit end-to-end: n=1e5-scale
+/// sweeps ask for sample budgets that wrapped 32-bit counters.
+/// `threads`/`pool` parallelize the per-source-group searches
+/// (bit-identical; same semantics as max_edge_stretch).
+[[nodiscard]] double sampled_pair_stretch(const Graph& g, const Graph& sub, std::int64_t samples,
+                                          std::uint64_t seed, int threads = 0,
+                                          runtime::WorkerPool* pool = nullptr);
+
+/// 0-based index of the q-quantile entry among `count` ascending-sorted
+/// samples: min(count-1, ceil(q*count)-1), never below 0. Computed in
+/// 64-bit end-to-end — the count*q products of 1e5-scale sweeps (samples ×
+/// pairs) overflow 32-bit arithmetic. Returns -1 for count <= 0.
+[[nodiscard]] std::int64_t quantile_index(std::int64_t count, double q);
 
 /// Degree distribution summary.
 struct DegreeStats {
@@ -53,9 +75,11 @@ struct DegreeStats {
 /// violations of
 ///   t2·|u1v1| < Σ_{i>=2} |u_i v_i| + t·(Σ |v_i u_{i+1}| + |v_s u_1|)
 /// where {u1,v1} is the longest edge of S. Returns the violation count.
-[[nodiscard]] int leapfrog_violations(
+/// Trial and violation counts are 64-bit end-to-end (32-bit counters wrap
+/// at n=1e5-scale sweep budgets).
+[[nodiscard]] std::int64_t leapfrog_violations(
     const Graph& sub, const std::function<double(int, int)>& pts_dist, double t2, double t,
-    int trials, std::uint64_t seed);
+    std::int64_t trials, std::uint64_t seed);
 
 /// Greedy estimate of the doubling dimension of a finite metric given by a
 /// symmetric distance matrix: log2 of the max, over sampled balls B(x,R), of

@@ -25,6 +25,7 @@
 /// many adjacency lists (metrics, covers, cluster-graph construction) stop
 /// chasing one heap pointer per vertex of `vector<vector<Neighbor>>`.
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -43,12 +44,24 @@ namespace localspan::graph {
 class CsrView {
  public:
   CsrView() = default;
-  explicit CsrView(const Graph& g) { assign(g); }
+  template <class G>
+  explicit CsrView(const G& g) {
+    assign(g);
+  }
 
   /// Re-snapshot. Reuses the flat buffers (no allocation once capacity has
-  /// grown to the workload's high-water mark).
-  void assign(const Graph& g) {
+  /// grown to the workload's high-water mark). Templated over the graph type
+  /// so tests can exercise the mutation check with a deterministic stand-in
+  /// for a concurrent writer.
+  ///
+  /// \throws std::logic_error when the graph mutated while the snapshot was
+  /// being taken (vertex count or half-edge totals no longer consistent) —
+  /// a snapshot of a graph another thread is editing is silently torn
+  /// otherwise.
+  template <class G>
+  void assign(const G& g) {
     const int n = g.n();
+    const int m_before = g.m();
     offsets_.clear();
     nbrs_.clear();
     offsets_.reserve(static_cast<std::size_t>(n) + 1);
@@ -57,6 +70,10 @@ class CsrView {
       const std::span<const Neighbor> row = g.neighbors(u);
       nbrs_.insert(nbrs_.end(), row.begin(), row.end());
       offsets_.push_back(static_cast<int>(nbrs_.size()));
+    }
+    if (g.n() != n || g.m() != m_before ||
+        nbrs_.size() != 2 * static_cast<std::size_t>(m_before)) {
+      throw std::logic_error("CsrView::assign: graph mutated during snapshot");
     }
   }
 
@@ -194,6 +211,16 @@ class DijkstraWorkspace {
   /// The number of searches started (SpView staleness token). Test hook.
   [[nodiscard]] std::uint64_t searches() const noexcept { return token_; }
 
+  /// Is a search currently running? The workspace is single-owner: two
+  /// concurrent searches would silently corrupt each other's stamps, so
+  /// run() enforces this with a cheap in-use flag (two relaxed atomic ops
+  /// per search) and throws std::logic_error on re-entrant or concurrent
+  /// use — e.g. a weight transform that calls back into the same workspace,
+  /// or two threads sharing one workspace instead of a per-worker pool.
+  [[nodiscard]] bool in_use() const noexcept {
+    return in_use_.v.load(std::memory_order_relaxed);
+  }
+
   /// Test hook for the epoch-wraparound path: exhaust the epoch counter so
   /// the next search must rebase every stamp. Production code never needs
   /// this (2^32 searches away); tests cover the rebase with it.
@@ -205,6 +232,31 @@ class DijkstraWorkspace {
   struct HeapItem {
     double d;
     int v;
+  };
+
+  /// std::atomic is neither copyable nor movable; the flag is per-object
+  /// state that must not travel with copies/moves, so this wrapper keeps
+  /// the workspace's defaulted special members intact (a copied or moved
+  /// workspace starts idle).
+  struct InUseFlag {
+    std::atomic<bool> v{false};
+    InUseFlag() = default;
+    InUseFlag(const InUseFlag&) noexcept {}
+    InUseFlag& operator=(const InUseFlag&) noexcept { return *this; }
+  };
+
+  /// RAII single-owner enforcement around one search.
+  struct InUseGuard {
+    explicit InUseGuard(InUseFlag& f) : flag(f) {
+      if (flag.v.exchange(true, std::memory_order_acquire)) {
+        throw std::logic_error(
+            "DijkstraWorkspace: concurrent or re-entrant search on a single-owner workspace");
+      }
+    }
+    ~InUseGuard() { flag.v.store(false, std::memory_order_release); }
+    InUseGuard(const InUseGuard&) = delete;
+    InUseGuard& operator=(const InUseGuard&) = delete;
+    InUseFlag& flag;
   };
 
   static constexpr std::uint32_t kEpochMax = std::numeric_limits<std::uint32_t>::max();
@@ -273,6 +325,7 @@ class DijkstraWorkspace {
   template <class G, class WeightFn>
   SpView run(const G& g, std::span<const int> sources, double radius, int target,
              WeightFn&& weight) {
+    const InUseGuard guard(in_use_);
     begin(g.n());
     for (int s : sources) {
       if (s < 0 || s >= n_) throw std::invalid_argument("dijkstra: source out of range");
@@ -319,6 +372,7 @@ class DijkstraWorkspace {
   std::uint32_t epoch_now_ = 0;
   std::uint64_t token_ = 0;  ///< search counter, invalidates outstanding views.
   int n_ = 0;                ///< vertex count of the current search's graph.
+  InUseFlag in_use_;         ///< single-owner enforcement (see in_use()).
 };
 
 inline void SpView::check() const {

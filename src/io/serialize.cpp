@@ -1,10 +1,14 @@
 #include "io/serialize.hpp"
 
+#include <charconv>
+#include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <system_error>
 
 namespace localspan::io {
 
@@ -12,6 +16,27 @@ namespace {
 
 constexpr const char* kMagic = "localspan-instance";
 constexpr int kVersion = 1;
+
+/// Strict numeric token reader: whitespace-delimited token, parsed with
+/// std::from_chars over the *whole* token. Unlike stream extraction this is
+/// locale-independent (a comma-decimal global locale cannot corrupt
+/// round-trips) and rejects partial parses ("1.5x" is an error, not 1.5
+/// with "x" silently left in the stream).
+template <class T>
+T read_number(std::istream& is, std::string& token, const char* what) {
+  if (!(is >> token)) {
+    throw std::runtime_error(std::string("read_instance: malformed input: ") + what);
+  }
+  T value{};
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const std::from_chars_result res = std::from_chars(first, last, value);
+  if (res.ec != std::errc() || res.ptr != last) {
+    throw std::runtime_error(std::string("read_instance: malformed input: ") + what + " '" +
+                             token + "'");
+  }
+  return value;
+}
 
 ubg::Placement placement_from_int(int v) {
   switch (v) {
@@ -67,10 +92,14 @@ ubg::UbgInstance read_instance(std::istream& is) {
   expected_version += std::to_string(kVersion);
   expect(version == expected_version, "version");
   ubg::UbgConfig cfg;
-  int placement_code = 0;
-  expect(static_cast<bool>(is >> cfg.n >> cfg.dim >> cfg.alpha >> cfg.side >>
-                           cfg.target_degree >> placement_code >> cfg.seed),
-         "config");
+  std::string token;
+  cfg.n = read_number<int>(is, token, "config n");
+  cfg.dim = read_number<int>(is, token, "config dim");
+  cfg.alpha = read_number<double>(is, token, "config alpha");
+  cfg.side = read_number<double>(is, token, "config side");
+  cfg.target_degree = read_number<double>(is, token, "config target_degree");
+  const int placement_code = read_number<int>(is, token, "config placement");
+  cfg.seed = read_number<std::uint64_t>(is, token, "config seed");
   cfg.placement = placement_from_int(placement_code);
   expect(cfg.n > 0 && cfg.dim >= 2 && cfg.dim <= geom::kMaxDim, "config ranges");
 
@@ -78,16 +107,15 @@ ubg::UbgInstance read_instance(std::istream& is) {
   inst.points.reserve(static_cast<std::size_t>(cfg.n));
   for (int i = 0; i < cfg.n; ++i) {
     geom::Point p(cfg.dim);
-    for (int k = 0; k < cfg.dim; ++k) expect(static_cast<bool>(is >> p[k]), "point coordinate");
+    for (int k = 0; k < cfg.dim; ++k) p[k] = read_number<double>(is, token, "point coordinate");
     inst.points.push_back(p);
   }
-  int m = 0;
-  expect(static_cast<bool>(is >> m) && m >= 0, "edge count");
+  const int m = read_number<int>(is, token, "edge count");
+  expect(m >= 0, "edge count");
   for (int i = 0; i < m; ++i) {
-    int u = 0;
-    int v = 0;
-    double w = 0.0;
-    expect(static_cast<bool>(is >> u >> v >> w), "edge");
+    const int u = read_number<int>(is, token, "edge endpoint");
+    const int v = read_number<int>(is, token, "edge endpoint");
+    const double w = read_number<double>(is, token, "edge weight");
     inst.g.add_edge(u, v, w);
   }
   return inst;

@@ -1,0 +1,163 @@
+#pragma once
+/// \file parallel.hpp
+/// A small deterministic task runtime for the embarrassingly parallel hot
+/// loops of the construction pipeline.
+///
+/// The paper's algorithm is *local* by design: per-center cover sweeps,
+/// per-edge redundancy ball harvests and per-vertex certification are
+/// independent computations (the structure incremental/asynchronous
+/// topology-control work exploits — Kluge et al., Koyuncu–Jafarkhani). The
+/// runtime turns that locality into multicore speedup without giving up the
+/// repo's determinism contract:
+///
+///   * `ThreadPool` — a fixed-size pool. `for_each(begin, end, fn)` splits
+///     the index range into one *contiguous, statically computed* chunk per
+///     worker (worker t always gets chunk t); the calling thread executes
+///     chunk 0. Dispatch is a function pointer + context pointer, so a
+///     warmed-up `for_each` performs **zero heap allocations** — the
+///     property the counting-allocator suites enforce end-to-end.
+///   * `WorkerPool` — a `ThreadPool` plus one `graph::DijkstraWorkspace`
+///     per worker, so every retrofitted search loop hands each worker its
+///     own epoch-stamped scratch and the zero-steady-state-allocation
+///     property of PR 4 survives parallel execution.
+///
+/// Determinism contract: every parallel consumer in the repo computes
+/// *state-independent* per-item results in the parallel phase and commits
+/// them in the serial item order (or reduces with an order-insensitive
+/// exact operation like max on doubles or AND on bools). Results are
+/// therefore **bit-identical** for every thread count, which
+/// `tests/test_parallel.cpp` asserts across the scenario matrix.
+///
+/// Thread-count resolution: explicit request > `LOCALSPAN_THREADS` env
+/// default > 1. A request of 0 means "use the default"; the default is 1
+/// when the env var is unset, so nothing parallelizes unless asked to.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "graph/sp_workspace.hpp"
+
+namespace localspan::runtime {
+
+/// std::thread::hardware_concurrency(), never below 1.
+[[nodiscard]] int hardware_threads() noexcept;
+
+/// The process default: LOCALSPAN_THREADS when set to a positive integer
+/// (clamped to [1, 256]), else 1. Read once and cached.
+[[nodiscard]] int default_threads() noexcept;
+
+/// Resolve a requested thread count: > 0 is used as given (clamped to
+/// [1, 256]); <= 0 means "use default_threads()".
+[[nodiscard]] int resolve_threads(int requested) noexcept;
+
+/// Fixed-size thread pool with deterministic static chunking.
+///
+/// Single-client: one `for_each` at a time, issued from one owner thread
+/// (the repo's consumers never nest dispatches). Worker t executes the t-th
+/// contiguous chunk of the range; the caller doubles as worker 0. An
+/// exception thrown by `fn` is captured and rethrown on the calling thread
+/// (the lowest-index worker's exception wins, deterministically).
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is worker 0).
+  /// \throws std::invalid_argument when threads < 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Run fn(worker, i) for every i in [begin, end), worker in [0, threads).
+  /// Allocation-free once the pool exists; blocks until every chunk is done.
+  template <class Fn>
+  void for_each(int begin, int end, Fn&& fn) {
+    if (end - begin <= 0) return;
+    if (threads_ == 1) {
+      for (int i = begin; i < end; ++i) fn(0, i);
+      return;
+    }
+    using F = std::remove_reference_t<Fn>;
+    dispatch(
+        [](void* ctx, int worker, int b, int e) {
+          F& f = *static_cast<F*>(ctx);  // F carries Fn's const qualification
+          for (int i = b; i < e; ++i) f(worker, i);
+        },
+        const_cast<void*>(static_cast<const void*>(&fn)), begin, end);
+  }
+
+ private:
+  using TaskFn = void (*)(void* ctx, int worker, int chunk_begin, int chunk_end);
+
+  /// Worker t's contiguous chunk of [begin, end).
+  [[nodiscard]] std::pair<int, int> chunk(int begin, int end, int worker) const noexcept;
+
+  void dispatch(TaskFn fn, void* ctx, int begin, int end);
+  void worker_loop(int worker);
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  TaskFn task_fn_ = nullptr;
+  void* task_ctx_ = nullptr;
+  int task_begin_ = 0;
+  int task_end_ = 0;
+  std::uint64_t generation_ = 0;  ///< bumped per dispatch; workers wait on it.
+  int unfinished_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  ///< one slot per worker.
+};
+
+/// A thread pool plus per-worker shortest-path workspaces — the resource
+/// bundle every retrofitted search loop consumes. Workspaces are as
+/// long-lived as the pool, so repeated parallel passes (the dynamic engine's
+/// per-event certify above all) reuse warm buffers and allocate nothing.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads) : pool_(threads), workspaces_(pool_.threads()) {}
+
+  [[nodiscard]] int threads() const noexcept { return pool_.threads(); }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+  /// Worker `worker`'s private workspace (index 0 is the calling thread's).
+  [[nodiscard]] graph::DijkstraWorkspace& workspace(int worker) {
+    return workspaces_[static_cast<std::size_t>(worker)];
+  }
+
+  template <class Fn>
+  void for_each(int begin, int end, Fn&& fn) {
+    pool_.for_each(begin, end, std::forward<Fn>(fn));
+  }
+
+ private:
+  ThreadPool pool_;
+  std::vector<graph::DijkstraWorkspace> workspaces_;
+};
+
+/// Run fn(workspace, i) over [begin, end): on `pool`'s workers with their
+/// private workspaces when a pool is provided, else serially on `serial_ws`.
+/// Both paths call the identical fn, so consumers written against this
+/// helper are bit-identical at every thread count by construction (fn must
+/// compute a state-independent result per item; commit order is the
+/// caller's).
+template <class Fn>
+void for_each_with_workspace(WorkerPool* pool, graph::DijkstraWorkspace& serial_ws, int begin,
+                             int end, Fn&& fn) {
+  if (pool == nullptr || pool->threads() == 1 || end - begin <= 1) {
+    for (int i = begin; i < end; ++i) fn(serial_ws, i);
+  } else {
+    pool->for_each(begin, end,
+                   [&](int worker, int i) { fn(pool->workspace(worker), i); });
+  }
+}
+
+}  // namespace localspan::runtime

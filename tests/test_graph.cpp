@@ -368,6 +368,31 @@ TEST(Metrics, SampledPairStretchAgrees) {
   EXPECT_LE(pair_stretch, edge_stretch + 1e-9);
 }
 
+TEST(Metrics, CountingPathsAreSixtyFourBitEndToEnd) {
+  // Regression for the 32-bit counting paths: n=1e5-scale sweeps produce
+  // samples-x-pairs budgets beyond INT_MAX. The quantile index is the
+  // arithmetic that actually wrapped — ceil(0.99 * 5e9) - 1 is negative in
+  // 32-bit — and the sampling entry points must accept 64-bit budgets
+  // without truncating them through an int parameter.
+  const std::int64_t five_billion = 5'000'000'000LL;
+  EXPECT_EQ(gr::quantile_index(five_billion, 0.99), 4'950'000'000LL - 1);
+  EXPECT_EQ(gr::quantile_index(five_billion, 1.0), five_billion - 1);
+  EXPECT_EQ(gr::quantile_index(100, 0.99), 98);
+  EXPECT_EQ(gr::quantile_index(1, 0.99), 0);
+  EXPECT_EQ(gr::quantile_index(0, 0.99), -1);
+  EXPECT_EQ(gr::quantile_index(five_billion, 0.0), 0);
+
+  // The widened entry points take >INT_MAX budgets verbatim (the early-exit
+  // paths keep these instant; an int parameter would have wrapped the value
+  // to a negative count and silently measured nothing).
+  const gr::Graph tiny(1);
+  EXPECT_DOUBLE_EQ(gr::sampled_pair_stretch(tiny, tiny, five_billion, 1), 1.0);
+  gr::Graph one_edge(2);
+  one_edge.add_edge(0, 1, 1.0);
+  const auto dist = [](int, int) { return 1.0; };
+  EXPECT_EQ(gr::leapfrog_violations(one_edge, dist, 1.5, 2.0, five_billion, 1), 0);
+}
+
 TEST(Metrics, DegreeStats) {
   gr::Graph g(5);
   g.add_edge(0, 1, 1.0);

@@ -1,10 +1,15 @@
 // Tests for instance serialization, DOT and CSV export.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <limits>
 #include <sstream>
+#include <string>
 
+#include "geom/point.hpp"
 #include "io/serialize.hpp"
 #include "ubg/generator.hpp"
 
@@ -53,6 +58,66 @@ TEST(Serialize, RoundTripHigherDimAndPlacements) {
     EXPECT_EQ(back.g, inst.g);
     EXPECT_EQ(back.config.placement, inst.config.placement);
   }
+}
+
+TEST(Serialize, RoundTripsExtremeCoordinatesBitwise) {
+  // The read path parses with std::from_chars; denormals, signed zeros and
+  // max-magnitude doubles must survive a write/read cycle bitwise (the
+  // writer's max_digits10 precision guarantees a recoverable text form).
+  ub::UbgConfig cfg;
+  cfg.n = 4;
+  cfg.dim = 2;
+  cfg.alpha = 0.7;
+  ub::UbgInstance inst{cfg, {}, gr::Graph(4)};
+  const double denormal = std::numeric_limits<double>::denorm_min();
+  const double tiny = std::numeric_limits<double>::min() / 4.0;  // also subnormal
+  const double huge = std::numeric_limits<double>::max();
+  localspan::geom::Point p0(2), p1(2), p2(2), p3(2);
+  p0[0] = 0.0;
+  p0[1] = -0.0;
+  p1[0] = denormal;
+  p1[1] = -denormal;
+  p2[0] = tiny;
+  p2[1] = huge;
+  p3[0] = -huge;
+  p3[1] = 1.0;
+  inst.points = {p0, p1, p2, p3};
+  inst.g.add_edge(0, 3, denormal);
+
+  std::stringstream ss;
+  io::write_instance(ss, inst);
+  const ub::UbgInstance back = io::read_instance(ss);
+  ASSERT_EQ(back.points.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 2; ++k) {
+      const double want = inst.points[static_cast<std::size_t>(i)][k];
+      const double got = back.points[static_cast<std::size_t>(i)][k];
+      EXPECT_EQ(std::memcmp(&want, &got, sizeof(double)), 0)
+          << "point " << i << " coord " << k << ": " << want << " vs " << got;
+    }
+  }
+  EXPECT_EQ(std::signbit(back.points[0][1]), true) << "-0.0 lost its sign";
+  EXPECT_EQ(back.g, inst.g);
+}
+
+TEST(Serialize, RejectsPartialNumberTokens) {
+  // Stream extraction accepted "1.5x" as 1.5 and left "x" behind; the
+  // from_chars read path must reject any token that does not parse fully.
+  const ub::UbgInstance inst = sample(3);
+  std::stringstream ss;
+  io::write_instance(ss, inst);
+  std::string text = ss.str();
+  // Corrupt the first coordinate line (line 3) by appending garbage to its
+  // first token.
+  std::size_t pos = 0;
+  for (int nl = 0; nl < 2; ++nl) pos = text.find('\n', pos) + 1;
+  const std::size_t sp = text.find(' ', pos);
+  text.insert(sp, "x");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(static_cast<void>(io::read_instance(corrupted)), std::runtime_error);
+  // Hex prefixes and empty exponents are partial parses too.
+  std::stringstream hexish("localspan-instance v1\n0x10 2 0.7 4.0 10.0 0 1\n");
+  EXPECT_THROW(static_cast<void>(io::read_instance(hexish)), std::runtime_error);
 }
 
 TEST(Serialize, RejectsGarbage) {

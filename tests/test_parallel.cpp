@@ -1,0 +1,389 @@
+/// Tests for the deterministic parallel runtime (runtime/parallel.hpp) and
+/// the bit-identical-at-every-thread-count contract of the retrofitted hot
+/// loops: ThreadPool/WorkerPool semantics, unit-level equivalence of the
+/// parallelized passes (covers, cluster graphs, metrics, fault-tolerant
+/// greedy), the registry-level determinism sweep for every algorithm that
+/// declares a `threads` option, dynamic-engine determinism under churn, and
+/// the counting-allocator steady-state proof re-run at threads=4.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "api/spanner_algorithm.hpp"
+#include "cluster/cluster_graph.hpp"
+#include "cluster/cover.hpp"
+#include "core/params.hpp"
+#include "core/relaxed_greedy.hpp"
+#include "dynamic/churn.hpp"
+#include "dynamic/dynamic_spanner.hpp"
+#include "ext/fault_tolerant.hpp"
+#include "graph/metrics.hpp"
+#include "graph/mst.hpp"
+#include "graph/sp_workspace.hpp"
+#include "runtime/parallel.hpp"
+#include "scenario_matrix.hpp"
+
+namespace rt = localspan::runtime;
+namespace gr = localspan::graph;
+namespace cl = localspan::cluster;
+using localspan::testinfra::Scenario;
+using localspan::testinfra::ScenarioName;
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every operator-new in this binary bumps the counter,
+// so windows around warmed-up hot paths measure their true allocation count.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<long long> g_allocs{0};
+}  // namespace
+
+// The replacement operator new allocates with std::malloc, so operator
+// delete frees with std::free — GCC's new/delete-pair analysis cannot see
+// through the replacement and flags the (correct) pairing.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+// The nothrow variants must be replaced too: std::stable_sort's temporary
+// buffer allocates through them, and a half-replaced set trips ASan's
+// alloc-dealloc-mismatch check (default operator new vs our free).
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace {
+
+/// The thread counts the determinism suite sweeps: serial, two workers, and
+/// whatever the hardware reports (deduplicated; on a 1-core machine this
+/// still exercises the pool dispatch path at 2).
+std::vector<int> determinism_thread_counts() {
+  std::vector<int> counts{1, 2, rt::hardware_threads()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+void expect_same_cover(const cl::ClusterCover& a, const cl::ClusterCover& b) {
+  EXPECT_EQ(a.centers, b.centers);
+  EXPECT_EQ(a.center_of, b.center_of);
+  ASSERT_EQ(a.dist_to_center.size(), b.dist_to_center.size());
+  for (std::size_t i = 0; i < a.dist_to_center.size(); ++i) {
+    EXPECT_EQ(a.dist_to_center[i], b.dist_to_center[i]) << "vertex " << i;  // bitwise
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ThreadPool / WorkerPool semantics
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 3, 7}) {
+    rt::ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.for_each(0, 257, [&](int worker, int i) {
+      ASSERT_GE(worker, 0);
+      ASSERT_LT(worker, threads);
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, StaticChunkingIsContiguousPerWorker) {
+  rt::ThreadPool pool(4);
+  std::vector<int> owner(100, -1);
+  pool.for_each(0, 100, [&](int worker, int i) { owner[static_cast<std::size_t>(i)] = worker; });
+  // Worker ids must be non-decreasing over the index range (contiguous
+  // chunks in worker order) and all four workers must own a chunk.
+  EXPECT_TRUE(std::is_sorted(owner.begin(), owner.end()));
+  EXPECT_EQ(owner.front(), 0);
+  EXPECT_EQ(owner.back(), 3);
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  rt::ThreadPool pool(3);
+  int calls = 0;
+  pool.for_each(5, 5, [&](int, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> acalls{0};
+  pool.for_each(7, 8, [&](int, int i) {
+    EXPECT_EQ(i, 7);
+    acalls.fetch_add(1);
+  });
+  EXPECT_EQ(acalls.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  rt::ThreadPool pool(3);
+  EXPECT_THROW(pool.for_each(0, 64,
+                             [&](int, int i) {
+                               if (i == 17) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+  // The pool survives a throwing dispatch.
+  std::atomic<int> count{0};
+  pool.for_each(0, 8, [&](int, int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, RejectsNonPositiveThreadCounts) {
+  EXPECT_THROW(rt::ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(rt::ThreadPool(-3), std::invalid_argument);
+}
+
+TEST(ThreadPool, ResolveThreadsHonorsRequestAndDefault) {
+  EXPECT_EQ(rt::resolve_threads(5), 5);
+  EXPECT_EQ(rt::resolve_threads(1), 1);
+  // 0 and negatives defer to the env default (1 in the test environment
+  // unless LOCALSPAN_THREADS is exported, which the suite does not do).
+  EXPECT_EQ(rt::resolve_threads(0), rt::default_threads());
+  EXPECT_EQ(rt::resolve_threads(-4), rt::default_threads());
+  EXPECT_GE(rt::hardware_threads(), 1);
+}
+
+TEST(WorkerPool, HandsEachWorkerItsOwnWorkspace) {
+  rt::WorkerPool pool(3);
+  // Distinct objects per worker slot.
+  EXPECT_NE(&pool.workspace(0), &pool.workspace(1));
+  EXPECT_NE(&pool.workspace(1), &pool.workspace(2));
+  const gr::Graph g = [] {
+    gr::Graph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    g.add_edge(2, 3, 1.0);
+    return g;
+  }();
+  std::vector<double> dist(4, -1.0);
+  pool.for_each(0, 4, [&](int worker, int i) {
+    dist[static_cast<std::size_t>(i)] = pool.workspace(worker).distance(g, 0, i);
+  });
+  EXPECT_EQ(dist, (std::vector<double>{0.0, 1.0, 2.0, 3.0}));
+}
+
+TEST(ThreadPool, WarmForEachAllocatesNothing) {
+  rt::ThreadPool pool(4);
+  std::atomic<long long> sink{0};
+  const auto body = [&](int, int i) { sink.fetch_add(i, std::memory_order_relaxed); };
+  pool.for_each(0, 1024, body);  // warm-up
+  const long long before = g_allocs.load();
+  pool.for_each(0, 1024, body);
+  EXPECT_EQ(g_allocs.load() - before, 0) << "warmed parallel_for dispatch allocated";
+}
+
+// ---------------------------------------------------------------------------
+// Unit-level equivalence of the retrofitted passes
+// ---------------------------------------------------------------------------
+
+class ParallelMatrixTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ParallelMatrixTest, CoverMatchesSerialBitForBit) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const gr::CsrView csr(inst.g);
+  gr::DijkstraWorkspace ws;
+  for (const double radius : {0.15, 0.5, 2.0}) {
+    const cl::ClusterCover serial = cl::sequential_cover(csr, radius, ws);
+    for (int threads : determinism_thread_counts()) {
+      if (threads == 1) continue;
+      rt::WorkerPool pool(threads);
+      const cl::ClusterCover parallel = cl::sequential_cover(csr, radius, ws, &pool);
+      expect_same_cover(serial, parallel);
+    }
+  }
+}
+
+TEST_P(ParallelMatrixTest, ClusterGraphMatchesSerialBitForBit) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const gr::CsrView csr(inst.g);
+  gr::DijkstraWorkspace ws;
+  const double radius = 0.3;
+  const double w_prev = 0.25;
+  const cl::ClusterCover cover = cl::sequential_cover(csr, radius, ws);
+  const cl::ClusterGraph serial = cl::build_cluster_graph(csr, cover, w_prev, ws);
+  for (int threads : determinism_thread_counts()) {
+    if (threads == 1) continue;
+    rt::WorkerPool pool(threads);
+    const cl::ClusterGraph parallel = cl::build_cluster_graph(csr, cover, w_prev, ws, &pool);
+    EXPECT_EQ(serial.h, parallel.h);
+    EXPECT_EQ(serial.intra_edges, parallel.intra_edges);
+    EXPECT_EQ(serial.inter_edges, parallel.inter_edges);
+    EXPECT_EQ(serial.max_inter_degree, parallel.max_inter_degree);
+    EXPECT_EQ(serial.max_inter_weight, parallel.max_inter_weight);  // bitwise
+  }
+}
+
+TEST_P(ParallelMatrixTest, StretchMetricsMatchSerialBitForBit) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const gr::Graph mst = localspan::graph::minimum_spanning_forest(inst.g);
+  const double serial_edge = gr::max_edge_stretch(inst.g, mst, 64.0, 1);
+  const double serial_pair = gr::sampled_pair_stretch(inst.g, mst, 200, 11, 1);
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(serial_edge, gr::max_edge_stretch(inst.g, mst, 64.0, threads));
+    EXPECT_EQ(serial_pair, gr::sampled_pair_stretch(inst.g, mst, 200, 11, threads));
+  }
+  // A caller-owned pool (the repeated-measurement form) agrees too.
+  rt::WorkerPool pool(3);
+  EXPECT_EQ(serial_edge, gr::max_edge_stretch(inst.g, mst, 64.0, 0, &pool));
+  EXPECT_EQ(serial_pair, gr::sampled_pair_stretch(inst.g, mst, 200, 11, 0, &pool));
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ParallelMatrixTest,
+                         ::testing::ValuesIn(localspan::testinfra::standard_matrix()),
+                         ScenarioName());
+
+TEST(ParallelFaultTolerant, MatchesSerialAcrossVariantsAndThreadCounts) {
+  const localspan::ubg::UbgInstance inst =
+      Scenario{2, localspan::ubg::Placement::kUniform, 0.75, 96, 5}.make();
+  for (int k : {0, 1, 2}) {
+    const gr::Graph edge_serial = localspan::ext::fault_tolerant_greedy(inst.g, 1.5, k, 1);
+    const gr::Graph vert_serial = localspan::ext::fault_tolerant_greedy_vertex(inst.g, 1.5, k, 1);
+    for (int threads : {2, 3, 5}) {
+      EXPECT_EQ(edge_serial, localspan::ext::fault_tolerant_greedy(inst.g, 1.5, k, threads));
+      EXPECT_EQ(vert_serial,
+                localspan::ext::fault_tolerant_greedy_vertex(inst.g, 1.5, k, threads));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry-level determinism: every algorithm that declares a `threads`
+// option must build a bit-identical topology (and metrics) at threads
+// 1 / 2 / hardware across the standard scenario matrix.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> threaded_algorithms() {
+  std::vector<std::string> out;
+  for (const std::string& name : localspan::api::registry().names()) {
+    const localspan::api::AlgorithmInfo& info = localspan::api::registry().at(name).info();
+    for (const localspan::api::OptionSpec& spec : info.options) {
+      if (spec.key == "threads") {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ParallelRegistry, ThreadsOptionIsDeclaredByParallelAlgorithms) {
+  const std::vector<std::string> names = threaded_algorithms();
+  // The adapters with parallel construction paths; update when one gains one.
+  EXPECT_EQ(names, (std::vector<std::string>{"energy", "ft-edge", "ft-vertex", "relaxed"}));
+}
+
+class ParallelRegistryMatrixTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ParallelRegistryMatrixTest, BuildsAreBitIdenticalAcrossThreadCounts) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const localspan::core::Params params =
+      localspan::core::Params::practical_params(0.5, inst.config.alpha);
+  for (const std::string& name : threaded_algorithms()) {
+    localspan::api::Options serial_opts;
+    serial_opts.set("threads", "1");
+    const localspan::api::BuildResult serial = localspan::api::registry().build(
+        name, localspan::api::BuildRequest{inst, params, serial_opts});
+    for (int threads : determinism_thread_counts()) {
+      if (threads == 1) continue;
+      localspan::api::Options opts;
+      opts.set("threads", std::to_string(threads));
+      const localspan::api::BuildResult parallel = localspan::api::registry().build(
+          name, localspan::api::BuildRequest{inst, params, opts});
+      EXPECT_EQ(serial.spanner, parallel.spanner) << name << " @ " << threads << " threads";
+      EXPECT_EQ(serial.metrics.edges, parallel.metrics.edges) << name;
+      EXPECT_EQ(serial.metrics.max_degree, parallel.metrics.max_degree) << name;
+      EXPECT_EQ(serial.metrics.stretch, parallel.metrics.stretch) << name;      // bitwise
+      EXPECT_EQ(serial.metrics.lightness, parallel.metrics.lightness) << name;  // bitwise
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ParallelRegistryMatrixTest,
+                         ::testing::ValuesIn(localspan::testinfra::standard_matrix()),
+                         ScenarioName());
+
+// ---------------------------------------------------------------------------
+// Dynamic engine determinism under churn + the threads=4 allocation proof
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDynamic, ChurnMaintenanceIsBitIdenticalAcrossThreadCounts) {
+  const localspan::ubg::UbgInstance inst =
+      Scenario{2, localspan::ubg::Placement::kUniform, 0.75, 96, 3}.make();
+  const localspan::core::Params params = localspan::core::Params::practical_params(0.5, 0.75);
+  localspan::dynamic::PoissonChurnConfig cfg;
+  cfg.events = 24;
+  cfg.seed = 3;
+  const localspan::dynamic::ChurnTrace trace = localspan::dynamic::poisson_churn(inst, cfg);
+
+  localspan::dynamic::DynamicOptions serial_opts;
+  serial_opts.threads = 1;
+  localspan::dynamic::DynamicSpanner serial(inst, params, serial_opts);
+
+  localspan::dynamic::DynamicOptions par_opts;
+  par_opts.threads = 4;
+  localspan::dynamic::DynamicSpanner parallel(inst, params, par_opts);
+
+  EXPECT_EQ(serial.spanner(), parallel.spanner());
+  for (const localspan::dynamic::ChurnEvent& ev : trace.events) {
+    const localspan::dynamic::RepairStats a = serial.apply(ev);
+    const localspan::dynamic::RepairStats b = parallel.apply(ev);
+    EXPECT_EQ(serial.spanner(), parallel.spanner()) << "diverged at t=" << ev.time;
+    EXPECT_EQ(a.ball_size, b.ball_size);
+    EXPECT_EQ(a.check_passed, b.check_passed);
+    EXPECT_EQ(a.fell_back, b.fell_back);
+    EXPECT_EQ(a.certify_scope, b.certify_scope);
+  }
+  EXPECT_EQ(serial.instance().g, parallel.instance().g);
+}
+
+TEST(ParallelDynamicAlloc, WarmCertifyAllocatesNothingAtFourThreads) {
+  const localspan::ubg::UbgInstance inst =
+      Scenario{2, localspan::ubg::Placement::kUniform, 0.75, 128, 3}.make();
+  const localspan::core::Params params = localspan::core::Params::practical_params(0.5, 0.75);
+  localspan::dynamic::DynamicOptions opts;
+  opts.threads = 4;
+  localspan::dynamic::DynamicSpanner engine(inst, params, opts);
+  localspan::dynamic::PoissonChurnConfig cfg;
+  cfg.events = 8;
+  cfg.seed = 3;
+  const localspan::dynamic::ChurnTrace trace = localspan::dynamic::poisson_churn(inst, cfg);
+  static_cast<void>(engine.apply_all(trace));  // warm scratch + per-worker workspaces
+  int live = 0;
+  while (live < engine.instance().g.n() && !engine.is_active(live)) ++live;
+  ASSERT_LT(live, engine.instance().g.n()) << "no live node after warm-up trace";
+  const std::vector<int> modified{live};
+  int scope = 0;
+  ASSERT_TRUE(engine.certify(modified, &scope));  // warm for this scope size
+  const long long before = g_allocs.load();
+  const bool ok = engine.certify(modified, &scope);
+  const long long allocs = g_allocs.load() - before;
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(allocs, 0) << "warmed parallel certify allocated";
+  EXPECT_GT(scope, 0);
+}

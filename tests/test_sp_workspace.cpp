@@ -46,10 +46,22 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
+// The nothrow variants must be replaced too (std::stable_sort's temporary
+// buffer allocates through them; a half-replaced set trips ASan's
+// alloc-dealloc-mismatch check).
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace {
 
@@ -247,6 +259,79 @@ TEST(SpWorkspace, ArgumentErrorsMatchDenseReference) {
 TEST(SpWorkspace, DefaultViewIsInvalid) {
   const gr::SpView view;
   EXPECT_THROW(static_cast<void>(view.dist(0)), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Single-owner enforcement: the workspace is documented single-owner; the
+// in-use flag turns silent stamp corruption (re-entrant search through a
+// weight transform, or two threads sharing one workspace) into a
+// std::logic_error at the point of misuse.
+// ---------------------------------------------------------------------------
+
+TEST(SpWorkspace, ReentrantSearchThroughWeightTransformThrows) {
+  const gr::Graph g = path_graph();
+  gr::DijkstraWorkspace ws;
+  const std::vector<int> sources{0};
+  // A weight transform that calls back into the same workspace mid-search —
+  // the one single-threaded way to re-enter run().
+  const auto evil = [&](double w) {
+    static_cast<void>(ws.bounded(g, 0, 1.0));  // throws: ws is mid-search
+    return w;
+  };
+  EXPECT_THROW(static_cast<void>(ws.multi_bounded(g, sources, gr::kInf, evil)), std::logic_error);
+  // The flag is released on unwind: the workspace keeps working.
+  EXPECT_FALSE(ws.in_use());
+  const gr::SpView sp = ws.bounded(g, 0, gr::kInf);
+  EXPECT_DOUBLE_EQ(sp.dist(4), 5.0);
+}
+
+TEST(SpWorkspace, InUseFlagDoesNotTravelWithCopies) {
+  gr::DijkstraWorkspace ws;
+  EXPECT_FALSE(ws.in_use());
+  const gr::DijkstraWorkspace copy = ws;  // fresh (idle) flag by design
+  EXPECT_FALSE(copy.in_use());
+}
+
+// ---------------------------------------------------------------------------
+// CsrView mid-snapshot mutation detection. The assign loop snapshots one
+// adjacency row at a time; a graph mutated between rows (a concurrent
+// writer) yields a torn snapshot whose half-edge totals cannot be
+// consistent. The stand-in below mutates deterministically from inside
+// neighbors(), simulating exactly the interleaving a racing writer causes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Graph facade that removes edge {0,1} the moment row `mutate_at` is read,
+/// after earlier rows (which include 0 and 1) were already copied.
+struct MutatingGraph {
+  gr::Graph g;
+  int mutate_at;
+
+  [[nodiscard]] int n() const { return g.n(); }
+  [[nodiscard]] int m() const { return g.m(); }
+  [[nodiscard]] std::span<const gr::Neighbor> neighbors(int u) const {
+    if (u == mutate_at) const_cast<gr::Graph&>(g).remove_edge(0, 1);
+    return g.neighbors(u);
+  }
+};
+
+}  // namespace
+
+TEST(CsrView, RejectsGraphMutatedMidSnapshot) {
+  gr::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  gr::CsrView csr;
+  // Rows 0 and 1 are copied with edge {0,1} present; the writer strikes
+  // before row 2, so the copied half-edges (2 + from rows 2,3) disagree
+  // with the final m — the snapshot is torn and must be rejected.
+  const MutatingGraph torn{g, 2};
+  EXPECT_THROW(csr.assign(torn), std::logic_error);
+  // An untouched graph still snapshots fine afterwards (buffers intact).
+  csr.assign(g);
+  EXPECT_EQ(csr.n(), 4);
+  EXPECT_EQ(csr.neighbors(0).size(), 1u);
 }
 
 // ---------------------------------------------------------------------------

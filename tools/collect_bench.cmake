@@ -36,6 +36,53 @@ endfunction()
 if(NOT IS_DIRECTORY "${DIR}")
   message(FATAL_ERROR "collect_bench: '${DIR}' is not a directory")
 endif()
+
+# Thread-scaling table validation (E12/E15): the artifact must contain a
+# table shaped (<size>, threads, <time>, speedup) — column 1 named "threads",
+# last column "speedup" — with every row carrying threads >= 1 and a positive
+# decimal speedup. Quick-mode artifacts emit the table too, so this check is
+# unconditional for the benches that declare it.
+function(check_thread_scaling payload artifact)
+  string(JSON n_tables LENGTH "${payload}" "tables")
+  math(EXPR last_table "${n_tables} - 1")
+  set(found FALSE)
+  foreach(t_idx RANGE ${last_table})
+    string(JSON n_cols LENGTH "${payload}" "tables" ${t_idx} "columns")
+    if(n_cols LESS 3)
+      continue()
+    endif()
+    string(JSON col1 GET "${payload}" "tables" ${t_idx} "columns" 1)
+    math(EXPR last_col "${n_cols} - 1")
+    string(JSON col_last GET "${payload}" "tables" ${t_idx} "columns" ${last_col})
+    if(NOT col1 STREQUAL "threads" OR NOT col_last STREQUAL "speedup")
+      continue()
+    endif()
+    set(found TRUE)
+    string(JSON n_rows LENGTH "${payload}" "tables" ${t_idx} "rows")
+    if(n_rows LESS 1)
+      message(FATAL_ERROR "collect_bench: ${artifact} thread-scaling table is empty")
+    endif()
+    math(EXPR last_row "${n_rows} - 1")
+    foreach(row_idx RANGE ${last_row})
+      string(JSON threads_cell GET "${payload}" "tables" ${t_idx} "rows" ${row_idx} 1)
+      string(JSON speedup_cell GET "${payload}" "tables" ${t_idx} "rows" ${row_idx} ${last_col})
+      if(NOT threads_cell MATCHES "^[0-9]+$" OR threads_cell LESS 1)
+        message(FATAL_ERROR "collect_bench: ${artifact} thread-scaling row ${row_idx} has invalid "
+          "threads '${threads_cell}'")
+      endif()
+      to_micro(speedup_us "${speedup_cell}")
+      if(speedup_us LESS 1)
+        message(FATAL_ERROR "collect_bench: ${artifact} thread-scaling row ${row_idx} has "
+          "non-positive speedup '${speedup_cell}'")
+      endif()
+    endforeach()
+    message(STATUS "collect_bench: ${artifact} thread-scaling table valid (${n_rows} rows)")
+  endforeach()
+  if(NOT found)
+    message(FATAL_ERROR "collect_bench: ${artifact} lacks a thread-scaling table "
+      "(column 1 'threads', last column 'speedup')")
+  endif()
+endfunction()
 if(NOT DEFINED OUT)
   set(OUT "${DIR}/BENCH_SUMMARY.json")
 endif()
@@ -94,11 +141,18 @@ foreach(artifact IN LISTS artifacts)
     endforeach()
     message(STATUS "collect_bench: E6 per-algorithm records valid (${n_rows} algorithms)")
   endif()
+  # E12 is the runtime-scaling bench; it must carry the parallel
+  # construction scaling table (threads/speedup columns).
+  if(id STREQUAL "E12")
+    check_thread_scaling("${payload}" "E12")
+  endif()
   # E15 is the dynamic-churn bench: its artifact must carry the workspace
-  # perf fields (alloc-free steady state in meta, the certify-scope column),
+  # perf fields (alloc-free steady state in meta, the certify-scope column,
+  # the repair-path threads column, the static-build thread-scaling table),
   # and its full-mode n=2048 incremental latency is guarded against the
   # checked-in baseline (the repo's first perf-regression gate).
   if(id STREQUAL "E15")
+    check_thread_scaling("${payload}" "E15")
     string(JSON alloc_free ERROR_VARIABLE af_err GET "${payload}" "meta" "alloc_free_steady_state")
     if(NOT af_err STREQUAL "NOTFOUND")
       message(FATAL_ERROR "collect_bench: E15 meta lacks alloc_free_steady_state")
@@ -111,6 +165,7 @@ foreach(artifact IN LISTS artifacts)
     set(inc_col -1)
     set(scope_col -1)
     set(model_col -1)
+    set(threads_col -1)
     math(EXPR last_col "${n_cols} - 1")
     foreach(col_idx RANGE ${last_col})
       string(JSON col GET "${payload}" "tables" 0 "columns" ${col_idx})
@@ -120,10 +175,12 @@ foreach(artifact IN LISTS artifacts)
         set(scope_col ${col_idx})
       elseif(col STREQUAL "model")
         set(model_col ${col_idx})
+      elseif(col STREQUAL "threads")
+        set(threads_col ${col_idx})
       endif()
     endforeach()
-    if(inc_col EQUAL -1 OR scope_col EQUAL -1 OR model_col EQUAL -1)
-      message(FATAL_ERROR "collect_bench: E15 table lacks the 'inc ms/ev'/'mean scope'/'model' columns")
+    if(inc_col EQUAL -1 OR scope_col EQUAL -1 OR model_col EQUAL -1 OR threads_col EQUAL -1)
+      message(FATAL_ERROR "collect_bench: E15 table lacks the 'inc ms/ev'/'mean scope'/'model'/'threads' columns")
     endif()
     # Regression guard: compare full-mode n=2048 rows against the checked-in
     # baseline artifact. Quick-mode artifacts carry no n=2048 row and skip

@@ -101,7 +101,7 @@ class Args {
 
 /// Flags shared by every command that builds a topology via the registry.
 const std::set<std::string> kBuildFlags{"in", "eps", "strict", "distributed", "seed",
-                                        "algo", "opt"};
+                                        "algo", "opt", "threads"};
 
 std::set<std::string> with_build_flags(std::set<std::string> extra) {
   extra.insert(kBuildFlags.begin(), kBuildFlags.end());
@@ -114,15 +114,15 @@ int usage() {
                "  gen     --n N --alpha A --dim D --seed S [--placement uniform|clustered|corridor]\n"
                "          [--policy always|never|prob|threshold] [--p P] --out FILE\n"
                "  span    --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--strict]\n"
-               "          [--distributed] [--seed S] [--out-dot FILE] [--out-csv FILE]\n"
-               "  verify  --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--strict]\n"
+               "          [--distributed] [--seed S] [--threads N] [--out-dot FILE] [--out-csv FILE]\n"
+               "  verify  --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--strict] [--threads N]\n"
                "  route   --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--trials T] [--seed S]\n"
                "  trace   --in FILE --model poisson|waypoint|failure --out FILE[.ctb]\n"
                "          [--seed S] [--events K] [--rate R] [--join-frac F]     (poisson)\n"
                "          [--movers M] [--speed V] [--dt T] [--duration T]      (waypoint)\n"
                "          [--radius R] [--fail-time T] [--no-rejoin]            (failure)\n"
                "  dynamic --in FILE --trace FILE --eps E [--strict] [--check off|local|full]\n"
-               "          [--baseline-full] [--linear-scan] [--quiet] [--out-json FILE]\n"
+               "          [--baseline-full] [--linear-scan] [--threads N] [--quiet] [--out-json FILE]\n"
                "run 'localspan_cli span --algo list' to enumerate registered algorithms\n");
   return 1;
 }
@@ -190,6 +190,20 @@ api::BuildResult build_topology(const ubg::UbgInstance& inst, const Args& args,
   // Back-compat sugar: --seed feeds seeded algorithms unless --opt seed= given.
   if (args.has("seed") && !opts.has("seed") && caps.randomized) {
     opts.set("seed", args.get("seed", "1"));
+  }
+  // --threads N: sugar for --opt threads=N, rejected when the algorithm has
+  // no parallel path (LOCALSPAN_THREADS remains the env default for
+  // algorithms that do). Results are bit-identical for every value.
+  if (args.has("threads")) {
+    const auto& schema = api::registry().at(algo).info().options;
+    const bool supported = std::any_of(schema.begin(), schema.end(), [](const api::OptionSpec& s) {
+      return s.key == "threads";
+    });
+    if (!supported) {
+      throw std::invalid_argument("--threads has no effect: algorithm '" + algo +
+                                  "' has no parallel construction path");
+    }
+    if (!opts.has("threads")) opts.set("threads", args.get("threads", "0"));
   }
   return api::registry().build(algo, api::BuildRequest{inst, params, std::move(opts)}, measure);
 }
@@ -370,7 +384,7 @@ int cmd_trace(const Args& args) {
 
 int cmd_dynamic(const Args& args) {
   args.require_known("dynamic", {"in", "trace", "eps", "strict", "check", "baseline-full",
-                                 "quiet", "out-json", "linear-scan"});
+                                 "quiet", "out-json", "linear-scan", "threads"});
   ubg::UbgInstance inst = load(args);
   const std::string trace_path = args.get("trace", "");
   if (trace_path.empty()) throw std::runtime_error("missing --trace FILE");
@@ -393,6 +407,7 @@ int cmd_dynamic(const Args& args) {
   else throw std::runtime_error("dynamic: --check must be off|local|full");
   opts.always_full_recompute = args.has("baseline-full");
   opts.linear_scan_discovery = args.has("linear-scan");
+  opts.threads = args.get_int("threads", 0);
   const bool quiet = args.has("quiet");
 
   dynamic::DynamicSpanner engine(std::move(inst), params, opts);
