@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,20 @@ struct CellResult {
 
 dynamic::ChurnTrace make_trace(const ubg::UbgInstance& inst, const std::string& model,
                                int events, std::uint64_t seed) {
+  if (model == "burst") {
+    // Regional failure + rejoin: every node inside the radius leaves at once
+    // and rejoins later — the batched-ingestion showcase, where one window
+    // coalesces the whole burst into a single repair region. `events` is
+    // ignored; the radius dictates the burst size. The radius is chosen
+    // large: window cost scales with the repair region (~the disk), events
+    // with 2x the disk population, so throughput *rises* with burst size —
+    // interior leaves whose whole neighborhood departs in the same window
+    // need no repair at all.
+    dynamic::RegionalFailureConfig cfg;
+    cfg.radius = 12.0;
+    cfg.seed = seed;
+    return dynamic::regional_failure(inst, cfg);
+  }
   if (model == "waypoint") {
     dynamic::WaypointConfig cfg;
     // Cap movers at events/2 so duration >= 2 sample periods per mover —
@@ -249,6 +264,10 @@ int main() {
   report.meta("alpha", alpha);
   report.meta("events", static_cast<long long>(events));
   report.meta("quick", std::string(quick ? "yes" : "no"));
+  // The machine's core count, so collect_bench can tell a genuine scaling
+  // regression from a one-core container (where every speedup column is
+  // honestly ~1.0 and the speedup gate must be skipped, not failed).
+  report.meta("nproc", static_cast<long long>(runtime::hardware_threads()));
   report.meta("alloc_free_steady_state",
               std::string(alloc_free_steady_state(params) ? "yes" : "no"));
 
@@ -289,6 +308,110 @@ int main() {
     add_row(scale_n, "poisson", run_cell(inst, params, trace, 0, true));
   }
   report.print("E15: incremental repair vs full recompute under churn", table);
+
+  // Batched churn ingestion (apply_batch): batch-size × threads sweep. Each
+  // cell replays the same trace through windowed apply_batch and reports
+  // per-event cost against a sequential apply() baseline timed on a prefix
+  // of the same trace (fresh engine, same seed instance). The burst model is
+  // the coalescing showcase: a regional failure + rejoin collapses into one
+  // repair region, so the whole window costs one union-ball search, one
+  // rerun and one certify. collect_bench validates this table and requires
+  // the n=100000 burst leg to sustain >= 10^4 events/s.
+  {
+    bu::Table batch_table({"n", "model", "batch", "threads", "events", "windows", "regions/win",
+                           "mean |RB|", "batch ms/ev", "batch ev/s", "seq ms/ev", "vs seq",
+                           "seq timed", "fallbacks"});
+    const auto seq_ms_per_event = [&](const ubg::UbgInstance& inst,
+                                      const dynamic::ChurnTrace& trace, std::size_t prefix) {
+      dynamic::DynamicSpanner engine(inst, params);
+      const std::size_t timed = std::min(prefix, trace.events.size());
+      double seconds = 0.0;
+      for (std::size_t i = 0; i < timed; ++i) seconds += engine.apply(trace.events[i]).seconds;
+      return 1e3 * seconds / static_cast<double>(std::max<std::size_t>(1, timed));
+    };
+    const auto add_batch_row = [&](int n, const char* model, const ubg::UbgInstance& inst,
+                                   const dynamic::ChurnTrace& trace, int batch, int threads,
+                                   double seq_ms, std::size_t seq_timed) {
+      dynamic::DynamicOptions opts;
+      opts.threads = threads;
+      dynamic::DynamicSpanner engine(inst, params, opts);
+      double seconds = 0.0;
+      long long regions = 0;
+      long long ball_union = 0;
+      int windows = 0;
+      int fallbacks = 0;
+      const std::vector<dynamic::ChurnEvent>& evs = trace.events;
+      for (std::size_t i = 0; i < evs.size(); i += static_cast<std::size_t>(batch)) {
+        const std::size_t len =
+            std::min<std::size_t>(static_cast<std::size_t>(batch), evs.size() - i);
+        const dynamic::BatchStats st =
+            engine.apply_batch(std::span<const dynamic::ChurnEvent>(evs.data() + i, len));
+        seconds += st.seconds;
+        regions += st.regions;
+        ball_union += st.ball_union;
+        ++windows;
+        if (st.fell_back) ++fallbacks;
+      }
+      const auto count = static_cast<double>(std::max<std::size_t>(1, evs.size()));
+      const double ms_ev = 1e3 * seconds / count;
+      batch_table.add_row(
+          {bu::fmt_int(n), model, bu::fmt_int(batch), bu::fmt_int(threads),
+           bu::fmt_int(static_cast<long long>(evs.size())), bu::fmt_int(windows),
+           bu::fmt(static_cast<double>(regions) / std::max(windows, 1), 2),
+           bu::fmt(static_cast<double>(ball_union) / std::max(windows, 1), 1), bu::fmt(ms_ev, 4),
+           bu::fmt(1e3 / std::max(ms_ev, 1e-9), 1), bu::fmt(seq_ms),
+           bu::fmt(seq_ms / std::max(ms_ev, 1e-9), 2),
+           bu::fmt_int(static_cast<long long>(seq_timed)), bu::fmt_int(fallbacks)});
+    };
+    // Threads to sweep: serial always; the parallel point only where the
+    // hardware can actually run one (a 1-core container reports honest
+    // serial numbers instead of scheduler-noise "speedups").
+    std::vector<int> batch_threads{1};
+    if (runtime::hardware_threads() >= 2) {
+      batch_threads.push_back(std::min(4, runtime::hardware_threads()));
+    }
+    {
+      // Dispersed churn: events rarely coalesce, so the win is bounded (one
+      // certify per window instead of per event).
+      const int n = quick ? 384 : 2048;
+      const int batch_events = quick ? 12 : 256;
+      const std::size_t seq_prefix = quick ? 6 : 64;
+      const ubg::UbgInstance inst = bu::standard_instance(n, alpha, 7);
+      const dynamic::ChurnTrace trace = make_trace(inst, "poisson", batch_events, 7);
+      const std::size_t seq_timed = std::min(seq_prefix, trace.events.size());
+      const double seq_ms = seq_ms_per_event(inst, trace, seq_prefix);
+      for (const int batch : quick ? std::vector<int>{4} : std::vector<int>{8, 32}) {
+        for (const int threads : batch_threads) {
+          add_batch_row(n, "poisson", inst, trace, batch, threads, seq_ms, seq_timed);
+        }
+      }
+    }
+    if (!quick) {
+      // Scale legs: dispersed churn and the coalesced burst at n=100000.
+      const ubg::UbgInstance inst = bu::standard_instance(scale_n, alpha, 7);
+      {
+        const dynamic::ChurnTrace trace = make_trace(inst, "poisson", 512, 7);
+        const std::size_t seq_timed = std::min<std::size_t>(32, trace.events.size());
+        const double seq_ms = seq_ms_per_event(inst, trace, 32);
+        for (const int threads : batch_threads) {
+          add_batch_row(scale_n, "poisson", inst, trace, 64, threads, seq_ms, seq_timed);
+        }
+      }
+      {
+        const dynamic::ChurnTrace trace = make_trace(inst, "burst", 0, 7);
+        const std::size_t seq_timed = std::min<std::size_t>(32, trace.events.size());
+        const double seq_ms = seq_ms_per_event(inst, trace, 32);
+        // The whole burst in ONE window: splitting a mass failure across
+        // windows makes early windows repair around nodes doomed to leave
+        // in the next one, destroying the amortization being measured.
+        const int burst_batch = static_cast<int>(trace.events.size());
+        for (const int threads : batch_threads) {
+          add_batch_row(scale_n, "burst", inst, trace, burst_batch, threads, seq_ms, seq_timed);
+        }
+      }
+    }
+    report.print("E15: batched churn ingestion (apply_batch), batch x threads", batch_table);
+  }
 
   // Static-build thread scaling: the full relaxed construction (the
   // per-event rebuild-baseline cost driver the ROADMAP names) at 1..8

@@ -68,6 +68,7 @@ DynamicSpanner::DynamicSpanner(ubg::UbgInstance inst, const core::Params& params
   scratch_local_id_.assign(static_cast<std::size_t>(inst_.g.n()), -1);
   scratch_in_core_.assign(static_cast<std::size_t>(inst_.g.n()), 0);
   scratch_in_scope_.assign(static_cast<std::size_t>(inst_.g.n()), 0);
+  batch_owner_.assign(static_cast<std::size_t>(inst_.g.n()), -1);
   // Every relaxed_greedy run (local repairs and full recomputes) shares one
   // workspace so the steady state reuses its buffers, unless the caller
   // supplied a workspace of their own.
@@ -82,6 +83,28 @@ DynamicSpanner::DynamicSpanner(ubg::UbgInstance inst, const core::Params& params
   if (engine_threads > 1 && opts_.greedy.worker_pool == nullptr) {
     pool_.emplace(engine_threads);
     opts_.greedy.worker_pool = &*pool_;
+  }
+  // Per-worker greedy options for the batch path's concurrent region
+  // reruns: each worker repairs its regions with a *serial* relaxed_greedy
+  // against its own pool workspace (no nested dispatch). Built once here so
+  // a warmed apply_batch never copies the std::function weight transform.
+  if (runtime::WorkerPool* const tm = team(); tm != nullptr) {
+    worker_greedy_opts_.reserve(static_cast<std::size_t>(tm->threads()));
+    for (int w = 0; w < tm->threads(); ++w) {
+      core::RelaxedGreedyOptions o = opts_.greedy;
+      o.workspace = &tm->workspace(w);
+      o.worker_pool = nullptr;
+      o.threads = 1;
+      worker_greedy_opts_.push_back(std::move(o));
+    }
+    // Sized eagerly (and kept in step by ensure_slot) rather than lazily
+    // inside the harvest: region→worker assignment is dynamic, so lazy
+    // growth would leave rarely-hit workers cold and break the
+    // zero-allocation steady state nondeterministically.
+    worker_local_id_.assign(static_cast<std::size_t>(tm->threads()),
+                            std::vector<int>(static_cast<std::size_t>(inst_.g.n()), -1));
+    worker_in_core_.assign(static_cast<std::size_t>(tm->threads()),
+                           std::vector<char>(static_cast<std::size_t>(inst_.g.n()), 0));
   }
   full_recompute();
 }
@@ -113,6 +136,9 @@ void DynamicSpanner::ensure_slot(int v) {
     scratch_local_id_.push_back(-1);
     scratch_in_core_.push_back(0);
     scratch_in_scope_.push_back(0);
+    batch_owner_.push_back(-1);
+    for (std::vector<int>& ids : worker_local_id_) ids.push_back(-1);
+    for (std::vector<char>& flags : worker_in_core_) flags.push_back(0);
   }
 }
 
@@ -158,6 +184,14 @@ void DynamicSpanner::full_recompute() {
 
 std::vector<int> DynamicSpanner::update_ubg(const ChurnEvent& ev, RepairStats* st) {
   std::vector<int> touched;
+  update_ubg_into(ev, &st->spanner_edges_removed, &touched);
+  return touched;
+}
+
+void DynamicSpanner::update_ubg_into(const ChurnEvent& ev, int* spanner_removed,
+                                     std::vector<int>* touched) {
+  std::vector<int>& old_nbrs = scratch_old_nbrs_;
+  old_nbrs.clear();
   switch (ev.kind) {
     case EventKind::kJoin: {
       if (ev.node < 0) throw std::invalid_argument("DynamicSpanner: negative node id");
@@ -169,18 +203,17 @@ std::vector<int> DynamicSpanner::update_ubg(const ChurnEvent& ev, RepairStats* s
       active_[slot] = 1;
       ++active_count_;
       grid_.insert(ev.node, ev.pos);
-      touched.push_back(ev.node);
-      connect_neighbors(ev.node, &touched);
+      touched->push_back(ev.node);
+      connect_neighbors(ev.node, touched);
       break;
     }
     case EventKind::kLeave: {
       if (!is_active(ev.node)) throw std::invalid_argument("DynamicSpanner: leave of a dead node");
-      const std::span<const graph::Neighbor> nbs = inst_.g.neighbors(ev.node);
-      touched.reserve(nbs.size());
-      for (const graph::Neighbor& nb : nbs) touched.push_back(nb.to);
-      for (int u : touched) {
+      for (const graph::Neighbor& nb : inst_.g.neighbors(ev.node)) old_nbrs.push_back(nb.to);
+      for (int u : old_nbrs) {
         inst_.g.remove_edge(ev.node, u);
-        if (spanner_.remove_edge(ev.node, u)) ++st->spanner_edges_removed;
+        if (spanner_.remove_edge(ev.node, u)) ++*spanner_removed;
+        touched->push_back(u);
       }
       const auto slot = static_cast<std::size_t>(ev.node);
       active_[slot] = 0;
@@ -194,24 +227,22 @@ std::vector<int> DynamicSpanner::update_ubg(const ChurnEvent& ev, RepairStats* s
       check_position(ev.pos);
       // All incident edges are recomputed: lengths changed, so weights must
       // too, and the local rerun re-derives the node's spanner edges anyway.
-      std::vector<int> old_nbrs;
       for (const graph::Neighbor& nb : inst_.g.neighbors(ev.node)) old_nbrs.push_back(nb.to);
       for (int u : old_nbrs) {
         inst_.g.remove_edge(ev.node, u);
-        if (spanner_.remove_edge(ev.node, u)) ++st->spanner_edges_removed;
+        if (spanner_.remove_edge(ev.node, u)) ++*spanner_removed;
+        touched->push_back(u);
       }
       inst_.points[static_cast<std::size_t>(ev.node)] = ev.pos;
       grid_.move(ev.node, ev.pos);
-      touched = std::move(old_nbrs);
-      touched.push_back(ev.node);
-      connect_neighbors(ev.node, &touched);
+      touched->push_back(ev.node);
+      connect_neighbors(ev.node, touched);
       break;
     }
   }
-  sort_unique(touched);
+  sort_unique(*touched);
   // Only live vertices seed the dirty ball (a departed node is isolated).
-  std::erase_if(touched, [this](int v) { return !is_active(v); });
-  return touched;
+  std::erase_if(*touched, [this](int v) { return !is_active(v); });
 }
 
 void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
@@ -420,6 +451,313 @@ std::vector<RepairStats> DynamicSpanner::apply_all(const ChurnTrace& trace) {
   out.reserve(trace.events.size());
   for (const ChurnEvent& ev : trace.events) out.push_back(apply(ev));
   return out;
+}
+
+BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+  BatchStats st;
+  st.events = static_cast<int>(events.size());
+  region_of_event_.assign(events.size(), -1);
+  if (events.empty()) {
+    st.seconds = elapsed();
+    return st;
+  }
+  const int count = static_cast<int>(events.size());
+  if (batch_touched_.size() < events.size()) batch_touched_.resize(events.size());
+
+  try {
+    // Phase 1: serial mutation replay in event order. The UBG and the
+    // standing spanner receive exactly the mutation sequence a sequential
+    // replay would apply — only the repairs are deferred — so the per-event
+    // validity rules are identical to apply()'s.
+    for (int i = 0; i < count; ++i) {
+      std::vector<int>& touched = batch_touched_[static_cast<std::size_t>(i)];
+      touched.clear();
+      update_ubg_into(events[static_cast<std::size_t>(i)], &st.spanner_edges_removed, &touched);
+    }
+
+    if (opts_.always_full_recompute) {
+      full_recompute();
+      st.seconds = elapsed();
+      return st;
+    }
+
+    // Seeds a later event deactivated are dropped: balls grow from the
+    // *final* topology, where a departed vertex is isolated and parked and
+    // its ex-neighbors (touched by its leave) carry the disturbance.
+    for (int i = 0; i < count; ++i) {
+      std::erase_if(batch_touched_[static_cast<std::size_t>(i)],
+                    [this](int v) { return !is_active(v); });
+    }
+
+    // Phase 2: the union dirty ball. At a fixed radius, ball(∪ D_i) =
+    // ∪ ball(D_i), so ONE multi-source bounded search from every live seed
+    // of the window covers every per-event ball — this is the coalescing
+    // payoff: a burst of k overlapping events costs one |U|-sized search
+    // instead of k of them. The per-event balls are never materialized.
+    runtime::WorkerPool* const tm = team();
+    const std::function<double(double)>& tf = opts_.greedy.weight_transform;
+    // The merged modified set doubles as the deduplicated seed list; the
+    // commit below appends the splice endpoints (like apply()).
+    batch_modified_.clear();
+    for (int i = 0; i < count; ++i) {
+      const std::vector<int>& seeds = batch_touched_[static_cast<std::size_t>(i)];
+      batch_modified_.insert(batch_modified_.end(), seeds.begin(), seeds.end());
+    }
+    sort_unique(batch_modified_);
+    batch_union_.clear();
+    int nregions = 0;
+    if (!batch_modified_.empty()) {
+      const graph::SpView sp =
+          tf ? ws_.multi_bounded(inst_.g, batch_modified_, ball_radius_, TransformRef{&tf})
+             : ws_.multi_bounded(inst_.g, batch_modified_, ball_radius_);
+      batch_union_.assign(sp.touched().begin(), sp.touched().end());
+      std::sort(batch_union_.begin(), batch_union_.end());
+
+      // Phase 3: deterministic region partition. Label U's connected
+      // components (BFS in ascending node order over the U-induced
+      // subgraph), then union-find events sharing a component, in event
+      // order. Two overlapping per-event balls always share a component, so
+      // this merges at least as much as ball-overlap would — regions stay
+      // vertex-disjoint and every event ball stays inside its region, which
+      // is all the witness-locality argument needs. The partition is a pure
+      // function of the window (no parallel phase feeds it).
+      comp_event_.clear();
+      for (int u : batch_union_) {
+        if (batch_owner_[static_cast<std::size_t>(u)] >= 0) continue;
+        const int comp = static_cast<int>(comp_event_.size());
+        comp_event_.push_back(-1);
+        batch_queue_.clear();
+        batch_queue_.push_back(u);
+        batch_owner_[static_cast<std::size_t>(u)] = comp;
+        while (!batch_queue_.empty()) {
+          const int v = batch_queue_.back();
+          batch_queue_.pop_back();
+          for (const graph::Neighbor& nb : inst_.g.neighbors(v)) {
+            if (!sp.reached(nb.to)) continue;  // outside U
+            int& owner = batch_owner_[static_cast<std::size_t>(nb.to)];
+            if (owner < 0) {
+              owner = comp;
+              batch_queue_.push_back(nb.to);
+            }
+          }
+        }
+      }
+
+      if (batch_uf_.size() < events.size()) {
+        batch_uf_.resize(events.size());
+        batch_root_region_.resize(events.size());
+      }
+      for (int i = 0; i < count; ++i) {
+        batch_uf_[static_cast<std::size_t>(i)] = i;
+        batch_root_region_[static_cast<std::size_t>(i)] = -1;
+      }
+      const auto find_root = [this](int a) {
+        while (batch_uf_[static_cast<std::size_t>(a)] != a) {
+          batch_uf_[static_cast<std::size_t>(a)] =
+              batch_uf_[static_cast<std::size_t>(batch_uf_[static_cast<std::size_t>(a)])];
+          a = batch_uf_[static_cast<std::size_t>(a)];
+        }
+        return a;
+      };
+      for (int i = 0; i < count; ++i) {
+        for (int s : batch_touched_[static_cast<std::size_t>(i)]) {
+          // Seeds are sources of the union search, so they are in U and
+          // labeled. The first event touching a component anchors it; later
+          // ones union into the anchor.
+          int& first = comp_event_[static_cast<std::size_t>(batch_owner_[static_cast<std::size_t>(s)])];
+          if (first < 0) {
+            first = i;
+          } else {
+            const int ra = find_root(first);
+            const int rb = find_root(i);
+            // The smaller root wins, so every class is rooted at its first
+            // member event.
+            if (ra != rb) batch_uf_[static_cast<std::size_t>(std::max(ra, rb))] = std::min(ra, rb);
+          }
+        }
+      }
+
+      int balled_events = 0;
+      for (int i = 0; i < count; ++i) {
+        if (batch_touched_[static_cast<std::size_t>(i)].empty()) continue;
+        ++balled_events;
+        int& region = batch_root_region_[static_cast<std::size_t>(find_root(i))];
+        if (region < 0) region = nregions++;
+        region_of_event_[static_cast<std::size_t>(i)] = region;
+      }
+      st.regions = nregions;
+      st.merged_events = balled_events - nregions;
+
+      if (batch_regions_.size() < static_cast<std::size_t>(nregions)) {
+        batch_regions_.resize(static_cast<std::size_t>(nregions));
+      }
+      for (int r = 0; r < nregions; ++r) {
+        RegionScratch& rg = batch_regions_[static_cast<std::size_t>(r)];
+        rg.events.clear();
+        rg.ball.clear();
+        rg.core.clear();
+        rg.sub_edges = 0;
+        rg.drops.clear();
+        rg.adds.clear();
+      }
+      for (int i = 0; i < count; ++i) {
+        const int r = region_of_event_[static_cast<std::size_t>(i)];
+        if (r < 0) continue;
+        batch_regions_[static_cast<std::size_t>(r)].events.push_back(i);
+      }
+      // Component -> region, then one ascending pass over U fills every
+      // region's ball (already sorted) and core (dist is the union search's
+      // min-over-seeds; the minimizing seed lies in the same component, so
+      // the per-region core is exact).
+      comp_region_.assign(comp_event_.size(), -1);
+      for (std::size_t c = 0; c < comp_event_.size(); ++c) {
+        if (comp_event_[c] >= 0) {
+          comp_region_[c] = region_of_event_[static_cast<std::size_t>(comp_event_[c])];
+        }
+      }
+      for (int v : batch_union_) {
+        const int comp = batch_owner_[static_cast<std::size_t>(v)];
+        batch_owner_[static_cast<std::size_t>(v)] = -1;  // stamp reset, same pass
+        const int r = comp_region_[static_cast<std::size_t>(comp)];
+        if (r < 0) continue;
+        RegionScratch& rg = batch_regions_[static_cast<std::size_t>(r)];
+        rg.ball.push_back(v);
+        if (sp.dist(v) <= core_radius_) rg.core.push_back(v);
+      }
+      for (int r = 0; r < nregions; ++r) {
+        RegionScratch& rg = batch_regions_[static_cast<std::size_t>(r)];
+        st.ball_union += static_cast<int>(rg.ball.size());
+        st.max_region_ball = std::max(st.max_region_ball, static_cast<int>(rg.ball.size()));
+      }
+    }
+
+    // Phases 4+5, one scatter/commit: harvest every region's splice in
+    // parallel, then commit serially in region order. Regions are
+    // vertex-disjoint and all reads (final UBG, pre-commit spanner) are
+    // frozen until the commit phase, so the harvested drops/adds are
+    // schedule-independent; with the serial in-order commit the result is
+    // bit-identical at every thread count.
+    const auto harvest_region = [&](int r, std::vector<int>& local_id, std::vector<char>& in_core,
+                                    const core::RelaxedGreedyOptions& gopts) {
+      RegionScratch& rg = batch_regions_[static_cast<std::size_t>(r)];
+      const auto n = static_cast<std::size_t>(inst_.g.n());
+      if (local_id.size() < n) local_id.resize(n, -1);
+      if (in_core.size() < n) in_core.resize(n, 0);
+      for (std::size_t j = 0; j < rg.ball.size(); ++j) {
+        local_id[static_cast<std::size_t>(rg.ball[j])] = static_cast<int>(j);
+      }
+      for (int v : rg.core) in_core[static_cast<std::size_t>(v)] = 1;
+      int sub_edges = 0;
+      for (int v : rg.ball) {
+        for (const graph::Neighbor& nb : inst_.g.neighbors(v)) {
+          if (v < nb.to && local_id[static_cast<std::size_t>(nb.to)] >= 0) ++sub_edges;
+        }
+      }
+      rg.sub_edges = sub_edges;
+      // An edgeless sub-instance repairs to an edgeless spanner, and the
+      // standing spanner (a subgraph of the UBG) then has no core-internal
+      // edges either — the splice is a no-op and the rerun is skipped. The
+      // skip also keys the alloc-free steady state: relaxed_greedy
+      // allocates its result graph, this path does not.
+      if (sub_edges > 0) {
+        ubg::UbgInstance sub{inst_.config, {}, graph::Graph(static_cast<int>(rg.ball.size()))};
+        sub.config.n = static_cast<int>(rg.ball.size());
+        sub.points.reserve(rg.ball.size());
+        for (int v : rg.ball) sub.points.push_back(inst_.points[static_cast<std::size_t>(v)]);
+        for (int v : rg.ball) {
+          for (const graph::Neighbor& nb : inst_.g.neighbors(v)) {
+            if (v < nb.to && local_id[static_cast<std::size_t>(nb.to)] >= 0) {
+              sub.g.add_edge(local_id[static_cast<std::size_t>(v)],
+                             local_id[static_cast<std::size_t>(nb.to)], nb.w);
+            }
+          }
+        }
+        const graph::Graph local = core::relaxed_greedy(sub, params_, gopts).spanner;
+        for (int v : rg.ball) {
+          if (!in_core[static_cast<std::size_t>(v)]) continue;
+          for (const graph::Neighbor& nb : spanner_.neighbors(v)) {
+            if (v < nb.to && in_core[static_cast<std::size_t>(nb.to)]) {
+              rg.drops.emplace_back(v, nb.to);
+            }
+          }
+        }
+        for (const graph::Edge& e : local.edges()) {
+          rg.adds.push_back({rg.ball[static_cast<std::size_t>(e.u)],
+                             rg.ball[static_cast<std::size_t>(e.v)], e.w});
+        }
+      }
+      for (int v : rg.ball) local_id[static_cast<std::size_t>(v)] = -1;
+      for (int v : rg.core) in_core[static_cast<std::size_t>(v)] = 0;
+    };
+
+    // Region sizes are skewed (one merged burst region next to many
+    // singletons), so the harvest is scheduled dynamically; each worker
+    // reruns serially with its own workspace — no nested dispatch. With a
+    // serial engine, or a single region, the harvest runs on the caller
+    // with the engine-level greedy options instead (pool-parallel *inside*
+    // the one rerun when a team exists); relaxed_greedy is bit-identical at
+    // every thread count, so nothing observable changes.
+    const bool parallel_regions = tm != nullptr && tm->threads() > 1 && nregions > 1;
+    runtime::scatter_commit(
+        parallel_regions ? tm : nullptr, ws_, nregions,
+        [&](graph::DijkstraWorkspace&, int worker, int r) {
+          if (parallel_regions) {
+            harvest_region(r, worker_local_id_[static_cast<std::size_t>(worker)],
+                           worker_in_core_[static_cast<std::size_t>(worker)],
+                           worker_greedy_opts_[static_cast<std::size_t>(worker)]);
+          } else {
+            harvest_region(r, scratch_local_id_, scratch_in_core_, opts_.greedy);
+          }
+        },
+        [&](int r) {
+          RegionScratch& rg = batch_regions_[static_cast<std::size_t>(r)];
+          st.sub_edges += rg.sub_edges;
+          for (const auto& [u, v] : rg.drops) {
+            spanner_.remove_edge(u, v);
+            ++st.spanner_edges_removed;
+            batch_modified_.push_back(u);
+            batch_modified_.push_back(v);
+          }
+          for (const graph::Edge& e : rg.adds) {
+            if (spanner_.add_edge(e.u, e.v, e.w)) {
+              ++st.spanner_edges_added;
+              batch_modified_.push_back(e.u);
+              batch_modified_.push_back(e.v);
+            }
+          }
+        });
+    sort_unique(batch_modified_);
+
+    // Phase 6: one merged-scope certification replaces the per-event
+    // passes; on failure the engine falls back exactly like apply().
+    if (!batch_modified_.empty() && opts_.check != CheckLevel::kOff) {
+      st.check_ran = true;
+      bool ok = opts_.check == CheckLevel::kFull ? certify({}, &st.certify_scope)
+                                                 : certify(batch_modified_, &st.certify_scope);
+      if (ok && opts_.check == CheckLevel::kFull) {
+        ok = graph::lightness(inst_.g, spanner_) <= opts_.caps.lightness;
+      }
+      st.check_passed = ok;
+      if (!ok && opts_.allow_fallback) {
+        full_recompute();
+        st.fell_back = true;
+      }
+    }
+  } catch (...) {
+    // A mid-window failure (an event invalid for the evolved topology,
+    // above all) leaves already-ingested mutations with their repairs
+    // pending; rebuilding restores a certified spanner before the error
+    // propagates. The window is not rolled back.
+    full_recompute();
+    throw;
+  }
+
+  st.seconds = elapsed();
+  return st;
 }
 
 }  // namespace localspan::dynamic

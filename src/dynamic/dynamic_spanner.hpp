@@ -31,7 +31,9 @@
 /// argument.
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/params.hpp"
@@ -126,6 +128,25 @@ struct RepairStats {
   double seconds = 0.0;  ///< wall time of the whole apply() call.
 };
 
+/// Whole-window repair telemetry for apply_batch (the E15 batch sweep
+/// aggregates these). Deliberately flat — no heap-owning members — so a
+/// warmed batch cycle can return it without allocating.
+struct BatchStats {
+  int events = 0;          ///< events ingested in this window.
+  int regions = 0;         ///< disjoint repair regions after the ball union.
+  int merged_events = 0;   ///< events folded into a region opened by an earlier event.
+  int ball_union = 0;      ///< total vertices across the (disjoint) region balls.
+  int max_region_ball = 0; ///< largest region ball.
+  int sub_edges = 0;       ///< UBG edges across all region sub-instances.
+  int spanner_edges_removed = 0;  ///< UBG-departed + core replacement drops.
+  int spanner_edges_added = 0;    ///< inserted from the local reruns.
+  int certify_scope = 0;   ///< vertices the one merged certification pass visited.
+  bool check_ran = false;
+  bool check_passed = true;
+  bool fell_back = false;
+  double seconds = 0.0;    ///< wall time of the whole apply_batch() call.
+};
+
 /// A standing spanner over a mutable α-UBG instance.
 ///
 /// Node lifecycle: ids are slots. Live slots carry a position inside the
@@ -159,6 +180,31 @@ class DynamicSpanner {
   /// trace header does not match the instance (dim/alpha).
   std::vector<RepairStats> apply_all(const ChurnTrace& trace);
 
+  /// Ingest a whole window of events at once. Semantics match a sequential
+  /// replay of the window — the same UBG mutations in the same order, a
+  /// certifier-equivalent spanner at the end — but the repair work is
+  /// *coalesced*: ONE multi-source bounded search from every seed of the
+  /// window computes the union dirty ball U = ∪ ball(D_i) on the final
+  /// topology, events are partitioned by the connected components of U
+  /// (overlapping balls always share a component, so this refines the
+  /// ball-overlap union-find upward — never apart), components touching a
+  /// common event are unioned into disjoint repair regions, the regions are
+  /// repaired in parallel on the
+  /// engine-owned worker team (regions are vertex-disjoint, so their local
+  /// reruns read frozen state and are independent by the witness-locality
+  /// argument at the top of this file), splices are committed serially in
+  /// deterministic region order, and ONE merged-scope certification pass
+  /// replaces the per-event passes. The resulting spanner is bit-identical
+  /// at every thread count, and a one-event batch is bit-identical to
+  /// apply().
+  ///
+  /// \throws std::invalid_argument on the first event invalid for the
+  /// topology at its position in the window (same per-event rules as
+  /// apply()). Events before it are already ingested at that point, so the
+  /// engine restores a certified state with a full recompute before
+  /// rethrowing; the batch is not rolled back.
+  BatchStats apply_batch(std::span<const ChurnEvent> events);
+
   /// Rebuild the spanner from scratch with the static pipeline (also the
   /// certification-failure fallback).
   void full_recompute();
@@ -183,6 +229,15 @@ class DynamicSpanner {
   [[nodiscard]] bool certify(const std::vector<int>& modified,
                              int* scope_size_out = nullptr) const;
 
+  /// Region index per event of the most recent apply_batch() window, in
+  /// event order (-1: the event touched no live vertex and joined no
+  /// region). Region indices number the disjoint repair regions in their
+  /// deterministic commit order (ascending first-member-event). Exposed for
+  /// the partition-determinism tests; invalidated by the next apply_batch.
+  [[nodiscard]] const std::vector<int>& last_region_of_event() const noexcept {
+    return region_of_event_;
+  }
+
  private:
   [[nodiscard]] double active_weight(double len) const;
   [[nodiscard]] geom::Point parked_position(int v) const;
@@ -198,7 +253,19 @@ class DynamicSpanner {
   /// live vertex set D, deduplicated.
   std::vector<int> update_ubg(const ChurnEvent& ev, RepairStats* st);
 
+  /// The mutation core shared by apply() and apply_batch(): appends the
+  /// touched live vertex set D into `*touched` (which must be empty on
+  /// entry) and counts dropped standing-spanner edges into
+  /// `*spanner_removed`. Allocation-free once the scratch is warm.
+  void update_ubg_into(const ChurnEvent& ev, int* spanner_removed, std::vector<int>* touched);
+
   void repair(const std::vector<int>& touched, RepairStats* st, std::vector<int>* modified);
+
+  /// The engaged worker team: the engine-owned pool when there is one, else
+  /// a caller-supplied pool threaded through the greedy options.
+  [[nodiscard]] runtime::WorkerPool* team() const noexcept {
+    return pool_.has_value() ? &*pool_ : opts_.greedy.worker_pool;
+  }
 
   ubg::UbgInstance inst_;
   core::Params params_;
@@ -221,6 +288,42 @@ class DynamicSpanner {
   std::vector<int> scratch_ball_;              ///< current ball members (sorted).
   mutable std::vector<char> scratch_in_scope_; ///< 0 outside the current scope.
   mutable std::vector<int> scratch_scoped_;    ///< scope members (reset list).
+  std::vector<int> scratch_old_nbrs_;          ///< update_ubg neighbor snapshot.
+
+  // ---- Batch ingestion scratch (apply_batch), reused across windows so a
+  // warmed steady-state batch allocates nothing. Indexed per event / per
+  // region / per worker; cleared or stamp-reset between windows.
+  std::vector<std::vector<int>> batch_touched_;  ///< per-event seed sets D_i.
+  std::vector<int> batch_union_;        ///< union dirty ball U (ascending node ids).
+  std::vector<int> batch_queue_;        ///< BFS queue for component labeling.
+  std::vector<int> batch_owner_;        ///< per-vertex component id within U; -1 clean.
+  std::vector<int> comp_event_;         ///< component -> first event touching it.
+  std::vector<int> comp_region_;        ///< component -> region index.
+  std::vector<int> batch_uf_;           ///< union-find parents over window events.
+  std::vector<int> batch_root_region_;  ///< uf root -> region index; -1 unseen.
+  std::vector<int> region_of_event_;    ///< last window: event -> region (-1 none).
+  /// One disjoint repair region: member events, the union ball/core, and the
+  /// harvested splice (drops/adds) awaiting its serial in-order commit.
+  struct RegionScratch {
+    std::vector<int> events;
+    std::vector<int> ball;  ///< sorted; disjoint from every other region's.
+    std::vector<int> core;  ///< sorted subset of ball.
+    int sub_edges = 0;
+    std::vector<std::pair<int, int>> drops;  ///< core-internal standing edges.
+    std::vector<graph::Edge> adds;           ///< local rerun edges, global ids.
+  };
+  std::vector<RegionScratch> batch_regions_;
+  std::vector<int> batch_modified_;  ///< merged modified set for the one certify.
+  /// Per-worker region-extraction scratch for the parallel harvest (the
+  /// serial path reuses scratch_local_id_/scratch_in_core_ instead). Grown
+  /// lazily to n inside the harvest, stamp-reset after each region.
+  std::vector<std::vector<int>> worker_local_id_;
+  std::vector<std::vector<char>> worker_in_core_;
+  /// Per-worker relaxed-greedy options for concurrent region reruns: each
+  /// points at that worker's pool workspace and is forced serial
+  /// (worker_pool = nullptr, threads = 1) so regions never nest dispatches.
+  /// Built once at construction; empty when no team is engaged.
+  std::vector<core::RelaxedGreedyOptions> worker_greedy_opts_;
 
   /// Epoch-stamped shortest-path workspace for the dirty-ball, scope and
   /// witness searches; sized once, O(|ball| log |ball|) per search with no

@@ -6,9 +6,11 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -303,6 +305,60 @@ T take(std::istream& is) {
   return v;
 }
 
+// -------------------------------------------------------------------------
+// Structural validation shared by both readers. The parsers above enforce
+// the *syntax* (grammar, field types, arity); this enforces the *semantics*
+// a replayer relies on: header ranges, finite monotone timestamps, node ids,
+// in-box coordinates, and trace-local node liveness (a node the trace itself
+// made live cannot join again; one it departed cannot leave or move). The
+// checks are instance-free — dynamic::validate_trace still owns the deeper
+// replay check against a concrete instance — so every load path, including
+// the binary one whose raw doubles can smuggle NaN/infinity, yields a typed
+// error instead of UB downstream.
+// -------------------------------------------------------------------------
+
+void validate_trace_structure(const dynamic::ChurnTrace& trace) {
+  if (!std::isfinite(trace.alpha) || trace.alpha <= 0.0 || trace.alpha > 1.0) {
+    fail("alpha out of range (0, 1]");
+  }
+  if (!std::isfinite(trace.side) || trace.side < 0.0) fail("side must be finite and >= 0");
+  const double side_slack = trace.side * (1.0 + 1e-9);
+  double prev_time = -std::numeric_limits<double>::infinity();
+  // 0 = unknown (lives only in the seed instance, if anywhere), 1 = live in
+  // trace, 2 = departed in trace.
+  std::unordered_map<int, char> state;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const dynamic::ChurnEvent& ev = trace.events[i];
+    const std::string at = "event " + std::to_string(i) + ": ";
+    if (!std::isfinite(ev.time)) fail(at + "non-finite timestamp");
+    if (ev.time < prev_time) fail(at + "non-monotone timestamp");
+    prev_time = ev.time;
+    if (ev.node < 0) fail(at + "negative node id");
+    if (ev.kind != dynamic::EventKind::kLeave) {
+      for (int k = 0; k < trace.dim; ++k) {
+        const double c = ev.pos[k];
+        if (!std::isfinite(c) || c < 0.0 || (trace.side > 0.0 && c > side_slack)) {
+          fail(at + "position coordinate out of range [0, side]");
+        }
+      }
+    }
+    char& st = state[ev.node];
+    switch (ev.kind) {
+      case dynamic::EventKind::kJoin:
+        if (st == 1) fail(at + "duplicate join of node " + std::to_string(ev.node));
+        st = 1;
+        break;
+      case dynamic::EventKind::kLeave:
+        if (st == 2) fail(at + "leave of node " + std::to_string(ev.node) + " after it departed");
+        st = 2;
+        break;
+      case dynamic::EventKind::kMove:
+        if (st == 2) fail(at + "move of node " + std::to_string(ev.node) + " after it departed");
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 void write_trace_json(std::ostream& os, const dynamic::ChurnTrace& trace) {
@@ -372,6 +428,7 @@ dynamic::ChurnTrace read_trace_json(std::istream& is) {
     }
     trace.events.push_back(ev);
   }
+  validate_trace_structure(trace);
   return trace;
 }
 
@@ -420,6 +477,7 @@ dynamic::ChurnTrace read_trace_binary(std::istream& is) {
     }
     trace.events.push_back(ev);
   }
+  validate_trace_structure(trace);
   return trace;
 }
 

@@ -93,6 +93,43 @@ class ThreadPool {
         const_cast<void*>(static_cast<const void*>(&fn)), begin, end);
   }
 
+  /// Run fn(worker, i) for every i in [begin, end) with *dynamic* scheduling:
+  /// workers pull the next index from a shared atomic counter instead of
+  /// owning a static chunk. Use for skewed per-item costs (variable-size
+  /// dirty-region repairs), where static chunking would idle most of the
+  /// pool behind one expensive item. The item→worker assignment is NOT
+  /// deterministic, so fn must compute a state-independent result into an
+  /// item-owned slot; with serial in-order commits afterwards the observable
+  /// outcome stays bit-identical at every thread count. Unlike for_each,
+  /// error attribution across workers is schedule-dependent (an exception is
+  /// still rethrown on the caller, but which one wins is not deterministic).
+  template <class Fn>
+  void for_each_dynamic(int begin, int end, Fn&& fn) {
+    if (end - begin <= 0) return;
+    if (threads_ == 1) {
+      for (int i = begin; i < end; ++i) fn(0, i);
+      return;
+    }
+    using F = std::remove_reference_t<Fn>;
+    struct Ctx {
+      F* fn;
+      std::atomic<int>* next;
+      int end;
+    };
+    next_item_.store(begin, std::memory_order_relaxed);
+    Ctx ctx{&fn, &next_item_, end};
+    dispatch(
+        [](void* c, int worker, int, int) {
+          Ctx& x = *static_cast<Ctx*>(c);
+          while (true) {
+            const int i = x.next->fetch_add(1, std::memory_order_relaxed);
+            if (i >= x.end) return;
+            (*x.fn)(worker, i);
+          }
+        },
+        &ctx, begin, end);
+  }
+
  private:
   using TaskFn = void (*)(void* ctx, int worker, int chunk_begin, int chunk_end);
 
@@ -114,6 +151,7 @@ class ThreadPool {
   std::uint64_t generation_ = 0;  ///< bumped per dispatch; workers wait on it.
   int unfinished_ = 0;
   bool stop_ = false;
+  std::atomic<int> next_item_{0};  ///< work counter for for_each_dynamic.
   std::vector<std::exception_ptr> errors_;  ///< one slot per worker.
 };
 
@@ -138,6 +176,11 @@ class WorkerPool {
     pool_.for_each(begin, end, std::forward<Fn>(fn));
   }
 
+  template <class Fn>
+  void for_each_dynamic(int begin, int end, Fn&& fn) {
+    pool_.for_each_dynamic(begin, end, std::forward<Fn>(fn));
+  }
+
  private:
   ThreadPool pool_;
   std::vector<graph::DijkstraWorkspace> workspaces_;
@@ -158,6 +201,27 @@ void for_each_with_workspace(WorkerPool* pool, graph::DijkstraWorkspace& serial_
     pool->for_each(begin, end,
                    [&](int worker, int i) { fn(pool->workspace(worker), i); });
   }
+}
+
+/// Scatter/commit for variable-size item work (the batched-churn region
+/// repair above all). `harvest(workspace, worker, i)` computes a
+/// state-independent result for item i into an item-owned slot; items are
+/// scheduled *dynamically* because their costs are skewed (one big repair
+/// region next to many tiny ones) and static chunking would serialize the
+/// pool behind the big one. `commit(i)` then runs serially in item order on
+/// the calling thread. Because harvests only read frozen state and the
+/// commit order is fixed, the combined effect is bit-identical at every
+/// thread count even though the parallel execution order is not.
+template <class Harvest, class Commit>
+void scatter_commit(WorkerPool* pool, graph::DijkstraWorkspace& serial_ws, int count,
+                    Harvest&& harvest, Commit&& commit) {
+  if (pool == nullptr || pool->threads() == 1 || count <= 1) {
+    for (int i = 0; i < count; ++i) harvest(serial_ws, 0, i);
+  } else {
+    pool->for_each_dynamic(
+        0, count, [&](int worker, int i) { harvest(pool->workspace(worker), worker, i); });
+  }
+  for (int i = 0; i < count; ++i) commit(i);
 }
 
 }  // namespace localspan::runtime

@@ -63,6 +63,7 @@ function(check_thread_scaling payload artifact)
       message(FATAL_ERROR "collect_bench: ${artifact} thread-scaling table is empty")
     endif()
     math(EXPR last_row "${n_rows} - 1")
+    set(max_speedup_us 0)
     foreach(row_idx RANGE ${last_row})
       string(JSON threads_cell GET "${payload}" "tables" ${t_idx} "rows" ${row_idx} 1)
       string(JSON speedup_cell GET "${payload}" "tables" ${t_idx} "rows" ${row_idx} ${last_col})
@@ -75,8 +76,34 @@ function(check_thread_scaling payload artifact)
         message(FATAL_ERROR "collect_bench: ${artifact} thread-scaling row ${row_idx} has "
           "non-positive speedup '${speedup_cell}'")
       endif()
+      if(speedup_us GREATER max_speedup_us)
+        set(max_speedup_us "${speedup_us}")
+      endif()
     endforeach()
     message(STATUS "collect_bench: ${artifact} thread-scaling table valid (${n_rows} rows)")
+    # Speedup gate: on a machine with real parallelism, the best parallel
+    # point must actually beat serial. On fewer than 4 cores the parallel
+    # rows cannot win (a 1-core container runs every thread count at the
+    # same speed minus scheduling overhead), so the gate is skipped — loudly,
+    # never silently — keyed on the nproc the bench recorded at run time.
+    string(JSON nproc ERROR_VARIABLE nproc_err GET "${payload}" "meta" "nproc")
+    string(JSON is_quick ERROR_VARIABLE quick_err GET "${payload}" "meta" "quick")
+    if(NOT nproc_err STREQUAL "NOTFOUND")
+      message(WARNING "collect_bench: ${artifact} meta lacks nproc — skipping the "
+        "thread-scaling speedup gate")
+    elseif(quick_err STREQUAL "NOTFOUND" AND is_quick STREQUAL "yes")
+      message(WARNING "collect_bench: ${artifact} is a quick-mode artifact (problem sizes too "
+        "small to scale) — skipping the thread-scaling speedup gate")
+    elseif(nproc LESS 4)
+      message(WARNING "collect_bench: ${artifact} ran on ${nproc} core(s) (< 4) — skipping the "
+        "thread-scaling speedup gate")
+    elseif(max_speedup_us LESS 1200000)
+      message(FATAL_ERROR "collect_bench: ${artifact} best thread-scaling speedup is "
+        "${max_speedup_us}/1000000 on ${nproc} cores — expected >= 1.2x over serial")
+    else()
+      message(STATUS "collect_bench: ${artifact} thread-scaling speedup gate passed "
+        "(best ${max_speedup_us}/1000000 on ${nproc} cores)")
+    endif()
   endforeach()
   if(NOT found)
     message(FATAL_ERROR "collect_bench: ${artifact} lacks a thread-scaling table "
@@ -160,6 +187,88 @@ foreach(artifact IN LISTS artifacts)
     if(NOT alloc_free STREQUAL "yes")
       message(FATAL_ERROR "collect_bench: E15 alloc_free_steady_state is '${alloc_free}' — the "
         "workspace/certify steady state has started allocating")
+    endif()
+    string(JSON nproc_meta ERROR_VARIABLE nproc_meta_err GET "${payload}" "meta" "nproc")
+    if(NOT nproc_meta_err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "collect_bench: E15 meta lacks nproc")
+    endif()
+    # Batched-ingestion table (apply_batch): identified by its 'batch'
+    # column. Quick-mode artifacts carry it too, so the presence check is
+    # unconditional; the 10^4 events/s floor applies only when an n=100000
+    # row exists (full mode).
+    string(JSON e15_tables LENGTH "${payload}" "tables")
+    math(EXPR e15_last_table "${e15_tables} - 1")
+    set(batch_tbl -1)
+    foreach(t_idx RANGE ${e15_last_table})
+      string(JSON bt_cols LENGTH "${payload}" "tables" ${t_idx} "columns")
+      math(EXPR bt_last_col "${bt_cols} - 1")
+      set(b_col -1)
+      set(bt_threads_col -1)
+      set(evs_col -1)
+      foreach(col_idx RANGE ${bt_last_col})
+        string(JSON col GET "${payload}" "tables" ${t_idx} "columns" ${col_idx})
+        if(col STREQUAL "batch")
+          set(b_col ${col_idx})
+        elseif(col STREQUAL "threads")
+          set(bt_threads_col ${col_idx})
+        elseif(col STREQUAL "batch ev/s")
+          set(evs_col ${col_idx})
+        endif()
+      endforeach()
+      if(b_col EQUAL -1)
+        continue()
+      endif()
+      if(bt_threads_col EQUAL -1 OR evs_col EQUAL -1)
+        message(FATAL_ERROR "collect_bench: E15 batched-ingestion table lacks the "
+          "'threads'/'batch ev/s' columns")
+      endif()
+      set(batch_tbl ${t_idx})
+      string(JSON bt_rows LENGTH "${payload}" "tables" ${t_idx} "rows")
+      if(bt_rows LESS 1)
+        message(FATAL_ERROR "collect_bench: E15 batched-ingestion table is empty")
+      endif()
+      math(EXPR bt_last_row "${bt_rows} - 1")
+      set(scale_rows 0)
+      set(best_scale_evs_us 0)
+      foreach(row_idx RANGE ${bt_last_row})
+        string(JSON row_n GET "${payload}" "tables" ${t_idx} "rows" ${row_idx} 0)
+        string(JSON batch_cell GET "${payload}" "tables" ${t_idx} "rows" ${row_idx} ${b_col})
+        string(JSON threads_cell GET "${payload}" "tables" ${t_idx} "rows" ${row_idx} ${bt_threads_col})
+        string(JSON evs_cell GET "${payload}" "tables" ${t_idx} "rows" ${row_idx} ${evs_col})
+        if(NOT batch_cell MATCHES "^[0-9]+$" OR batch_cell LESS 1)
+          message(FATAL_ERROR "collect_bench: E15 batched row ${row_idx} has invalid batch "
+            "'${batch_cell}'")
+        endif()
+        if(NOT threads_cell MATCHES "^[0-9]+$" OR threads_cell LESS 1)
+          message(FATAL_ERROR "collect_bench: E15 batched row ${row_idx} has invalid threads "
+            "'${threads_cell}'")
+        endif()
+        to_micro(evs_us "${evs_cell}")
+        if(evs_us LESS 1)
+          message(FATAL_ERROR "collect_bench: E15 batched row ${row_idx} has non-positive "
+            "'batch ev/s' '${evs_cell}'")
+        endif()
+        if(row_n EQUAL 100000)
+          math(EXPR scale_rows "${scale_rows} + 1")
+          if(evs_us GREATER best_scale_evs_us)
+            set(best_scale_evs_us "${evs_us}")
+          endif()
+        endif()
+      endforeach()
+      if(scale_rows GREATER 0)
+        # 10^4 events/s in integer micro-units.
+        if(best_scale_evs_us LESS 10000000000)
+          message(FATAL_ERROR "collect_bench: E15 batched ingestion at n=100000 peaks at "
+            "${best_scale_evs_us}/1000000 events/s — expected >= 10000")
+        endif()
+        message(STATUS "collect_bench: E15 batched n=100000 throughput gate passed "
+          "(${best_scale_evs_us}/1000000 events/s)")
+      endif()
+      message(STATUS "collect_bench: E15 batched-ingestion table valid (${bt_rows} rows)")
+    endforeach()
+    if(batch_tbl EQUAL -1)
+      message(FATAL_ERROR "collect_bench: E15 lacks the batched-ingestion table "
+        "(no table with a 'batch' column)")
     endif()
     string(JSON n_cols LENGTH "${payload}" "tables" 0 "columns")
     set(inc_col -1)

@@ -21,6 +21,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -122,7 +123,9 @@ int usage() {
                "          [--movers M] [--speed V] [--dt T] [--duration T]      (waypoint)\n"
                "          [--radius R] [--fail-time T] [--no-rejoin]            (failure)\n"
                "  dynamic --in FILE --trace FILE --eps E [--strict] [--check off|local|full]\n"
-               "          [--baseline-full] [--linear-scan] [--threads N] [--quiet] [--out-json FILE]\n"
+               "          [--baseline-full] [--linear-scan] [--batch N] [--threads N] [--quiet]\n"
+               "          [--out-json FILE]   (--batch N>1 ingests N-event windows via apply_batch;\n"
+               "          --threads T repairs disjoint regions of a window in parallel)\n"
                "run 'localspan_cli span --algo list' to enumerate registered algorithms\n");
   return 1;
 }
@@ -384,7 +387,7 @@ int cmd_trace(const Args& args) {
 
 int cmd_dynamic(const Args& args) {
   args.require_known("dynamic", {"in", "trace", "eps", "strict", "check", "baseline-full",
-                                 "quiet", "out-json", "linear-scan", "threads"});
+                                 "quiet", "out-json", "linear-scan", "batch", "threads"});
   ubg::UbgInstance inst = load(args);
   const std::string trace_path = args.get("trace", "");
   if (trace_path.empty()) throw std::runtime_error("missing --trace FILE");
@@ -409,11 +412,61 @@ int cmd_dynamic(const Args& args) {
   opts.linear_scan_discovery = args.has("linear-scan");
   opts.threads = args.get_int("threads", 0);
   const bool quiet = args.has("quiet");
+  const int batch = args.get_int("batch", 1);
+  if (batch < 1) throw std::runtime_error("dynamic: --batch must be >= 1");
+  if (batch > 1 && args.has("out-json")) {
+    throw std::runtime_error("dynamic: --out-json records per-event stats; drop it or use --batch 1");
+  }
 
   dynamic::DynamicSpanner engine(std::move(inst), params, opts);
   std::printf("initial: n=%d live, %d UBG edges, %d spanner edges (%s repair, check=%s)\n",
               engine.active_count(), engine.instance().g.m(), engine.spanner().m(),
               opts.always_full_recompute ? "full-recompute" : "incremental", check.c_str());
+
+  if (batch > 1) {
+    // Windowed ingestion: each window is coalesced, partitioned into disjoint
+    // dirty regions, repaired (in parallel across regions when --threads > 1)
+    // and certified once.
+    double total_seconds = 0.0;
+    long long regions = 0;
+    long long ball_union = 0;
+    int windows = 0;
+    int fallbacks = 0;
+    for (std::size_t i = 0; i < trace.events.size(); i += static_cast<std::size_t>(batch)) {
+      const std::size_t len =
+          std::min<std::size_t>(static_cast<std::size_t>(batch), trace.events.size() - i);
+      const dynamic::BatchStats st =
+          engine.apply_batch(std::span<const dynamic::ChurnEvent>(trace.events.data() + i, len));
+      total_seconds += st.seconds;
+      regions += st.regions;
+      ball_union += st.ball_union;
+      ++windows;
+      if (st.fell_back) ++fallbacks;
+      if (!quiet) {
+        std::printf(
+            "window %-4d %3d events -> %2d regions (%d merged), |balls|=%-5d scope=%-5d "
+            "+%d/-%d edges  %.2f ms%s\n",
+            windows, st.events, st.regions, st.merged_events, st.ball_union, st.certify_scope,
+            st.spanner_edges_added, st.spanner_edges_removed, 1e3 * st.seconds,
+            st.fell_back ? "  [fallback]" : (st.check_ran && !st.check_passed ? "  [CHECK FAILED]"
+                                                                              : ""));
+      }
+    }
+    const double denom = std::max(total_seconds, 1e-12);
+    std::printf(
+        "\napplied %zu events in %d windows of <=%d in %.3f s (%.0f events/s, "
+        "%.2f regions/window, mean ball union %.1f, %d fallbacks)\n",
+        trace.events.size(), windows, batch, total_seconds,
+        static_cast<double>(trace.events.size()) / denom,
+        static_cast<double>(regions) / std::max(windows, 1),
+        static_cast<double>(ball_union) / std::max(windows, 1), fallbacks);
+    std::printf("final: n=%d live, %d UBG edges, %d spanner edges\n", engine.active_count(),
+                engine.instance().g.m(), engine.spanner().m());
+    const core::VerificationReport rep =
+        core::verify_spanner(engine.instance(), engine.spanner(), params.t);
+    std::printf("final audit: %s\n", rep.summary().c_str());
+    return rep.ok() ? 0 : 1;
+  }
 
   std::vector<dynamic::RepairStats> stats;
   stats.reserve(trace.events.size());
