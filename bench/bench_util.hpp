@@ -135,6 +135,16 @@ class JsonReport {
     tables_.emplace_back(title, table);
   }
 
+  /// Attach an observability block (obs::to_json(obs::snapshot())) — emitted
+  /// verbatim as the top-level "obs" member. collect_bench.cmake validates
+  /// its shape when present.
+  void set_obs(std::string obs_json) {
+    while (!obs_json.empty() && (obs_json.back() == '\n' || obs_json.back() == ' ')) {
+      obs_json.pop_back();
+    }
+    obs_json_ = std::move(obs_json);
+  }
+
   /// Write BENCH_<id>.json. Returns false (after printing a diagnostic) on
   /// I/O failure so benches can surface it via their exit code.
   [[nodiscard]] bool write() const {
@@ -150,7 +160,9 @@ class JsonReport {
       if (i > 0) os << ", ";
       os << "\"" << json_escape(meta_[i].first) << "\": " << json_cell(meta_[i].second);
     }
-    os << "},\n  \"tables\": [\n";
+    os << "},\n";
+    if (!obs_json_.empty()) os << "  \"obs\": " << obs_json_ << ",\n";
+    os << "  \"tables\": [\n";
     for (std::size_t t = 0; t < tables_.size(); ++t) {
       const auto& [title, table] = tables_[t];
       os << "    {\"title\": \"" << json_escape(title) << "\",\n     \"columns\": [";
@@ -184,6 +196,7 @@ class JsonReport {
  private:
   std::string id_;
   std::vector<std::pair<std::string, std::string>> meta_;
+  std::string obs_json_;
   std::vector<std::pair<std::string, Table>> tables_;
 };
 

@@ -68,6 +68,13 @@ const std::vector<OptionSpec> kRelaxedOptionSchema{
     {"covered-filter", OptionType::kBool, "true", "run the §2.2.2 θ-cone covered-edge filter"},
 };
 
+/// Phase schema of core::relaxed_greedy (the obs span names its per-bin
+/// pipeline emits). Declared by every adapter that calls it directly;
+/// the distributed simulator runs its own pipeline and stays opaque.
+const std::vector<std::string> kRelaxedPhaseSchema{
+    "construct",        "rg.phase0",  "rg.cover",     "rg.filter",
+    "rg.cluster_graph", "rg.queries", "rg.redundancy"};
+
 class RelaxedAlgorithm final : public SpannerAlgorithm {
  public:
   const AlgorithmInfo& info() const override {
@@ -80,7 +87,8 @@ class RelaxedAlgorithm final : public SpannerAlgorithm {
           opts.push_back(kThreadsSpec);
           return opts;
         }(),
-        {}};
+        {},
+        kRelaxedPhaseSchema};
     return kInfo;
   }
 
@@ -106,7 +114,8 @@ class DistributedAlgorithm final : public SpannerAlgorithm {
           opts.push_back({"seed", OptionType::kInt, "1", "seed for the Luby MIS draws"});
           return opts;
         }(),
-        {.dim2_only = false, .needs_k = false, .uses_params = true, .randomized = true}};
+        {.dim2_only = false, .needs_k = false, .uses_params = true, .randomized = true},
+        {}};
     return kInfo;
   }
 
@@ -129,6 +138,7 @@ class GreedyAlgorithm final : public SpannerAlgorithm {
         "greedy",
         "classical SEQ-GREEDY t-spanner (strongest quality baseline)",
         "Althoefer et al. [4], paper §1.4",
+        {},
         {},
         {}};
     return kInfo;
@@ -166,7 +176,8 @@ class YaoAlgorithm final : public SpannerAlgorithm {
         "symmetrized Yao graph: nearest G-neighbor per cone",
         "Yao [20], paper §1.3",
         {{"k", OptionType::kInt, "8", "number of cones (>= 3)"}},
-        {.dim2_only = true, .needs_k = true, .uses_params = false, .randomized = false}};
+        {.dim2_only = true, .needs_k = true, .uses_params = false, .randomized = false},
+        {}};
     return kInfo;
   }
 
@@ -187,7 +198,8 @@ class ThetaAlgorithm final : public SpannerAlgorithm {
         "Θ-graph: nearest projection onto the cone bisector per cone",
         "theta-graph sibling of Yao [20]; Lemma 3 analysis",
         {{"k", OptionType::kInt, "8", "number of cones (>= 3)"}},
-        {.dim2_only = true, .needs_k = true, .uses_params = false, .randomized = false}};
+        {.dim2_only = true, .needs_k = true, .uses_params = false, .randomized = false},
+        {}};
     return kInfo;
   }
 
@@ -208,7 +220,8 @@ class GabrielAlgorithm final : public SpannerAlgorithm {
         "Gabriel graph: drop edges with a witness inside the diameter ball",
         "planar-backbone family, paper §1.3 [13-15]",
         {},
-        {.dim2_only = false, .needs_k = false, .uses_params = false, .randomized = false}};
+        {.dim2_only = false, .needs_k = false, .uses_params = false, .randomized = false},
+        {}};
     return kInfo;
   }
 
@@ -231,7 +244,8 @@ class RngAlgorithm final : public SpannerAlgorithm {
         "relative neighborhood graph (the XTC topology)",
         "XTC [19], paper §1.3",
         {},
-        {.dim2_only = false, .needs_k = false, .uses_params = false, .randomized = false}};
+        {.dim2_only = false, .needs_k = false, .uses_params = false, .randomized = false},
+        {}};
     return kInfo;
   }
 
@@ -254,7 +268,8 @@ class EdgeFaultTolerantAlgorithm final : public SpannerAlgorithm {
         "greedy k-edge fault-tolerant t-spanner",
         "paper §1.6 ext. 1, Czumaj-Zhao [2]",
         {{"k", OptionType::kInt, "1", "number of edge faults tolerated (>= 0)"}, kThreadsSpec},
-        {.dim2_only = false, .needs_k = true, .uses_params = true, .randomized = false}};
+        {.dim2_only = false, .needs_k = true, .uses_params = true, .randomized = false},
+        {}};
     return kInfo;
   }
 
@@ -280,7 +295,8 @@ class VertexFaultTolerantAlgorithm final : public SpannerAlgorithm {
         "greedy k-vertex fault-tolerant t-spanner (denser, stronger guarantee)",
         "paper §1.6 ext. 1, Czumaj-Zhao [2]",
         {{"k", OptionType::kInt, "1", "number of vertex faults tolerated (>= 0)"}, kThreadsSpec},
-        {.dim2_only = false, .needs_k = true, .uses_params = true, .randomized = false}};
+        {.dim2_only = false, .needs_k = true, .uses_params = true, .randomized = false},
+        {}};
     return kInfo;
   }
 
@@ -313,7 +329,8 @@ class EnergyAlgorithm final : public SpannerAlgorithm {
           opts.push_back(kThreadsSpec);
           return opts;
         }(),
-        {}};
+        {},
+        kRelaxedPhaseSchema};
     return kInfo;
   }
 
@@ -345,7 +362,8 @@ class MstAlgorithm final : public SpannerAlgorithm {
         "minimum spanning forest (weight lower bound; unbounded stretch)",
         "Kruskal; E6 reference row",
         {},
-        {.dim2_only = false, .needs_k = false, .uses_params = false, .randomized = false}};
+        {.dim2_only = false, .needs_k = false, .uses_params = false, .randomized = false},
+        {}};
     return kInfo;
   }
 
@@ -369,7 +387,8 @@ class MaxPowerAlgorithm final : public SpannerAlgorithm {
         "no topology control: the full α-UBG itself (stretch-1 reference)",
         "E6 reference row",
         {},
-        {.dim2_only = false, .needs_k = false, .uses_params = false, .randomized = false}};
+        {.dim2_only = false, .needs_k = false, .uses_params = false, .randomized = false},
+        {}};
     return kInfo;
   }
 

@@ -12,6 +12,7 @@
 #include "geom/grid.hpp"
 #include "graph/components.hpp"
 #include "graph/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace localspan::api {
 
@@ -223,13 +224,44 @@ BuildResult AlgorithmRegistry::build(const std::string& name, const BuildRequest
   const Guarantees guarantees = algo.guarantees(req);
   std::optional<graph::Graph> metric_reference = algo.metric_reference(req);
 
+  // Phase accounting rides the obs layer: diff the global span totals
+  // around the timed call and filter to the algorithm's declared schema.
+  // The "construct" span wraps every algorithm, so even opaque baselines
+  // report a one-row breakdown through the same pipeline.
+  const bool obs_on = obs::enabled();
+  std::vector<obs::SpanStat> spans_before;
+  if (obs_on) spans_before = obs::span_totals();
+
   const auto t0 = std::chrono::steady_clock::now();
-  Construction c = algo.construct(req);
+  Construction c = [&] {
+    static const obs::MetricId construct_span = obs::span_id("construct");
+    const obs::Span span(construct_span);
+    return algo.construct(req);
+  }();
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   BuildResult res{std::move(c.spanner), seconds,       {},
-                  guarantees,           std::move(c.phases), std::move(metric_reference)};
+                  guarantees,           std::move(c.phases), std::move(metric_reference),
+                  {}};
+  if (obs_on) {
+    const std::vector<obs::SpanStat> spans_after = obs::span_totals();
+    const auto totals_of = [](const std::vector<obs::SpanStat>& stats, const std::string& name) {
+      for (const obs::SpanStat& s : stats) {
+        if (s.name == name) return std::pair<std::int64_t, std::int64_t>{s.count, s.total_ns};
+      }
+      return std::pair<std::int64_t, std::int64_t>{0, 0};
+    };
+    const std::vector<std::string> fallback{"construct"};
+    const std::vector<std::string>& declared = info.phases.empty() ? fallback : info.phases;
+    for (const std::string& phase : declared) {
+      const auto [count0, ns0] = totals_of(spans_before, phase);
+      const auto [count1, ns1] = totals_of(spans_after, phase);
+      if (count1 > count0) {
+        res.phase_breakdown.push_back({phase, count1 - count0, (ns1 - ns0) * 1e-9});
+      }
+    }
+  }
   const graph::Graph& ref = res.metric_reference ? *res.metric_reference : req.inst.g;
   res.metrics.edges = res.spanner.m();
   res.metrics.edges_per_node =

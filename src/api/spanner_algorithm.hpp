@@ -122,6 +122,12 @@ struct AlgorithmInfo {
   std::string reference;             ///< paper / source attribution.
   std::vector<OptionSpec> options;   ///< accepted options with defaults.
   Capabilities caps;
+  /// The obs span names this algorithm's construction emits — ONE shared
+  /// phase schema for every consumer (the registry diffs obs::span_totals()
+  /// around construct() and reports exactly these, in this order). Empty
+  /// means the construction is opaque: {"construct"} only. The API test
+  /// fails when a declared phase never fires on a covered scenario.
+  std::vector<std::string> phases;
 };
 
 /// Input to one build: a generated instance, the paper's parameterization
@@ -153,6 +159,14 @@ struct Construction {
   std::vector<core::PhaseStats> phases;  ///< optional per-phase trace.
 };
 
+/// One phase of a build, as measured by the obs layer (name is the obs span
+/// name; count is how many times the span fired during construct()).
+struct PhaseCost {
+  std::string name;
+  std::int64_t count = 0;
+  double seconds = 0.0;
+};
+
 /// Outcome of AlgorithmRegistry::build.
 struct BuildResult {
   graph::Graph spanner;
@@ -164,6 +178,12 @@ struct BuildResult {
   /// (transformed-metric constructions) — consumers verifying the result
   /// independently must compare against this same reference.
   std::optional<graph::Graph> metric_reference;
+  /// Per-phase wall costs in AlgorithmInfo::phases order, populated only
+  /// when obs::enabled(): the registry diffs obs::span_totals() around the
+  /// construct() call and filters to the declared schema, so every
+  /// algorithm reports phases through the same pipeline. Phases that did
+  /// not fire (e.g. every bin empty) are omitted.
+  std::vector<PhaseCost> phase_breakdown;
 };
 
 /// A named topology-control construction. Implementations are stateless;

@@ -5,9 +5,26 @@
 #include <vector>
 
 #include "graph/dijkstra.hpp"
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 
 namespace localspan::cluster {
+
+namespace {
+
+struct CgMetrics {
+  obs::MetricId centers = obs::counter_id("cg.centers");
+  obs::MetricId inter_edges = obs::counter_id("cg.inter_edges");
+  obs::MetricId intra_edges = obs::counter_id("cg.intra_edges");
+  obs::MetricId retries = obs::counter_id("cg.retries");
+};
+
+const CgMetrics& cg_metrics() {
+  static const CgMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ClusterGraph build_cluster_graph(const graph::Graph& gp, const ClusterCover& cover,
                                  double w_prev) {
@@ -138,6 +155,13 @@ ClusterGraph build_cluster_graph(const graph::CsrView& gp, const ClusterCover& c
     add_inter(r.a, r.b, d);
   }
   cg.max_inter_degree = *std::max_element(inter_degree.begin(), inter_degree.end());
+  if (obs::enabled()) {
+    const CgMetrics& m = cg_metrics();
+    obs::counter_add(m.centers, nc);
+    obs::counter_add(m.inter_edges, cg.inter_edges);
+    obs::counter_add(m.intra_edges, cg.intra_edges);
+    obs::counter_add(m.retries, static_cast<std::int64_t>(retries.size()));
+  }
   return cg;
 }
 

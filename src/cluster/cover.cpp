@@ -5,9 +5,30 @@
 #include <utility>
 
 #include "graph/dijkstra.hpp"
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 
 namespace localspan::cluster {
+
+namespace {
+
+/// cover.centers / cover.ball_size are deterministic at every thread count
+/// (committed balls mirror the serial sweep); cover.wave_size and
+/// cover.speculation_waste depend on the adaptive wave schedule and are
+/// parallel-path diagnostics only.
+struct CoverMetrics {
+  obs::MetricId centers = obs::counter_id("cover.centers");
+  obs::MetricId waste = obs::counter_id("cover.speculation_waste");
+  obs::MetricId ball_size = obs::histogram_id("cover.ball_size");
+  obs::MetricId wave_size = obs::histogram_id("cover.wave_size");
+};
+
+const CoverMetrics& cover_metrics() {
+  static const CoverMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::vector<std::vector<int>> ClusterCover::members() const {
   std::vector<std::vector<int>> out(center_of.size());
@@ -36,6 +57,9 @@ ClusterCover sequential_cover(const graph::CsrView& gp, double radius,
       if (cover.center_of[static_cast<std::size_t>(u)] != -1) continue;
       const graph::SpView sp = ws.bounded(gp, u, radius);
       cover.centers.push_back(u);
+      obs::counter_add(cover_metrics().centers, 1);
+      obs::histogram_record(cover_metrics().ball_size,
+                            static_cast<std::int64_t>(sp.touched().size()));
       // Every settled vertex is within `radius`; absorb the still-uncovered
       // ones. Walking the touched list keeps the sweep O(|ball|), not O(n).
       for (int v : sp.touched()) {
@@ -74,18 +98,23 @@ ClusterCover sequential_cover(const graph::CsrView& gp, double radius,
           ball.clear();
           for (int v : sp.touched()) ball.push_back({v, sp.dist(v)});
         });
+    obs::histogram_record(cover_metrics().wave_size, wave);
     int committed = 0;
     for (int i = 0; i < wave; ++i) {
       const int u = candidates[static_cast<std::size_t>(i)];
       if (cover.center_of[static_cast<std::size_t>(u)] != -1) continue;  // absorbed this wave
       cover.centers.push_back(u);
       ++committed;
+      obs::counter_add(cover_metrics().centers, 1);
+      obs::histogram_record(cover_metrics().ball_size,
+                            static_cast<std::int64_t>(balls[static_cast<std::size_t>(i)].size()));
       for (const auto& [v, d] : balls[static_cast<std::size_t>(i)]) {
         if (cover.center_of[static_cast<std::size_t>(v)] != -1) continue;
         cover.center_of[static_cast<std::size_t>(v)] = u;
         cover.dist_to_center[static_cast<std::size_t>(v)] = d;
       }
     }
+    obs::counter_add(cover_metrics().waste, wave - committed);
     next = candidates[static_cast<std::size_t>(wave - 1)] + 1;
     // Adaptive waste control: disjoint waves (everything committed) widen the
     // window; overlapping waves shrink it back toward one chunk per worker.

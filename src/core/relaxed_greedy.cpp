@@ -10,6 +10,7 @@
 #include "graph/components.hpp"
 #include "graph/dijkstra.hpp"
 #include "mis/mis.hpp"
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 
 namespace localspan::core {
@@ -255,6 +256,48 @@ namespace {
 
 using detail::PhaseEdge;
 
+/// Per-phase counters (deterministic at every thread count — they mirror
+/// the serial-order PhaseStats fields) and phase spans. The span names are
+/// the declared phase schema of the relaxed family in builtin_algorithms.
+struct RgMetrics {
+  obs::MetricId edges_examined = obs::counter_id("rg.edges_examined");
+  obs::MetricId edges_already = obs::counter_id("rg.edges_already_in_spanner");
+  obs::MetricId edges_covered = obs::counter_id("rg.edges_covered");
+  obs::MetricId edges_candidate = obs::counter_id("rg.edges_candidate");
+  obs::MetricId queries = obs::counter_id("rg.queries");
+  obs::MetricId edges_added = obs::counter_id("rg.edges_added");
+  obs::MetricId edges_removed = obs::counter_id("rg.edges_removed");
+  obs::MetricId heap_pushes = obs::counter_id("rg.heap_pushes");
+  obs::MetricId heap_pops = obs::counter_id("rg.heap_pops");
+  obs::MetricId phase0 = obs::span_id("rg.phase0");
+  obs::MetricId cover_span = obs::span_id("rg.cover");
+  obs::MetricId filter_span = obs::span_id("rg.filter");
+  obs::MetricId cluster_graph_span = obs::span_id("rg.cluster_graph");
+  obs::MetricId queries_span = obs::span_id("rg.queries");
+  obs::MetricId redundancy_span = obs::span_id("rg.redundancy");
+};
+
+const RgMetrics& rg_metrics() {
+  static const RgMetrics m;
+  return m;
+}
+
+/// Drain the plain heap tallies of the run workspace (and each per-worker
+/// workspace) into the rg.heap_* counters at a phase boundary.
+void flush_heap_ops(graph::DijkstraWorkspace& ws, runtime::WorkerPool* pool) {
+  if (!obs::enabled()) return;
+  auto [pushes, pops] = ws.take_heap_ops();
+  if (pool != nullptr) {
+    for (int w = 0; w < pool->threads(); ++w) {
+      const auto [a, b] = pool->workspace(w).take_heap_ops();
+      pushes += a;
+      pops += b;
+    }
+  }
+  obs::counter_add(rg_metrics().heap_pushes, pushes);
+  obs::counter_add(rg_metrics().heap_pops, pops);
+}
+
 std::function<double(double)> make_transform(const RelaxedGreedyOptions& opts) {
   if (opts.weight_transform) return opts.weight_transform;
   return [](double len) { return len; };
@@ -334,9 +377,14 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
                              static_cast<int>(bins.size())};
 
   // Phase 0.
-  result.phases.push_back(process_short_edges(inst, bins[0], transform, params,
-                                              opts.phase0_clique_cap, result.spanner,
-                                              &result.phase0_components));
+  {
+    const obs::Span span(rg_metrics().phase0);
+    result.phases.push_back(process_short_edges(inst, bins[0], transform, params,
+                                                opts.phase0_clique_cap, result.spanner,
+                                                &result.phase0_components));
+    obs::counter_add(rg_metrics().edges_examined, result.phases.back().edges_in_bin);
+    obs::counter_add(rg_metrics().edges_added, result.phases.back().added);
+  }
 
   const auto mis_fn = [](const graph::Graph& j) { return mis::greedy_mis(j); };
 
@@ -377,44 +425,51 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
 
     // (i) cluster cover of G'_{i-1}, on a frozen CSR snapshot of it.
     csr.assign(result.spanner);
-    const cluster::ClusterCover cover = cluster::sequential_cover(csr, radius, ws, pool);
+    const cluster::ClusterCover cover = [&] {
+      const obs::Span span(rg_metrics().cover_span);
+      return cluster::sequential_cover(csr, radius, ws, pool);
+    }();
     st.clusters = static_cast<int>(cover.centers.size());
 
     // (ii) covered-edge filter + candidate selection. Each edge's status is
     // a pure function of (inst, G'_{i-1}, edge), so the θ-cone tests run in
     // parallel; candidates are committed in bin order.
-    enum : char { kAlready, kCovered, kCandidate };
-    std::vector<char> status(bin.size(), kCandidate);
-    std::vector<double> lens(bin.size(), 0.0);  // Euclidean length, computed once
-    const auto classify = [&](int i) {
-      const graph::Edge& e = bin[static_cast<std::size_t>(i)];
-      if (result.spanner.has_edge(e.u, e.v)) {
-        status[static_cast<std::size_t>(i)] = kAlready;
-        return;
-      }
-      const double len = inst.dist(e.u, e.v);
-      lens[static_cast<std::size_t>(i)] = len;
-      if (opts.covered_edge_filter &&
-          detail::is_covered_edge(inst, result.spanner, {e.u, e.v, len, e.w}, params.theta)) {
-        status[static_cast<std::size_t>(i)] = kCovered;
-      }
-    };
-    if (pool != nullptr && pool->threads() > 1) {
-      pool->for_each(0, static_cast<int>(bin.size()), [&](int, int i) { classify(i); });
-    } else {
-      for (int i = 0; i < static_cast<int>(bin.size()); ++i) classify(i);
-    }
-    std::vector<PhaseEdge> candidates;
-    for (std::size_t i = 0; i < bin.size(); ++i) {
-      const graph::Edge& e = bin[i];
-      if (status[i] == kAlready) {
-        ++st.already_in_spanner;
-      } else if (status[i] == kCovered) {
-        ++st.covered;
+    const std::vector<PhaseEdge> candidates = [&] {
+      const obs::Span span(rg_metrics().filter_span);
+      enum : char { kAlready, kCovered, kCandidate };
+      std::vector<char> status(bin.size(), kCandidate);
+      std::vector<double> lens(bin.size(), 0.0);  // Euclidean length, computed once
+      const auto classify = [&](int i) {
+        const graph::Edge& e = bin[static_cast<std::size_t>(i)];
+        if (result.spanner.has_edge(e.u, e.v)) {
+          status[static_cast<std::size_t>(i)] = kAlready;
+          return;
+        }
+        const double len = inst.dist(e.u, e.v);
+        lens[static_cast<std::size_t>(i)] = len;
+        if (opts.covered_edge_filter &&
+            detail::is_covered_edge(inst, result.spanner, {e.u, e.v, len, e.w}, params.theta)) {
+          status[static_cast<std::size_t>(i)] = kCovered;
+        }
+      };
+      if (pool != nullptr && pool->threads() > 1) {
+        pool->for_each(0, static_cast<int>(bin.size()), [&](int, int i) { classify(i); });
       } else {
-        candidates.push_back({e.u, e.v, lens[i], e.w});
+        for (int i = 0; i < static_cast<int>(bin.size()); ++i) classify(i);
       }
-    }
+      std::vector<PhaseEdge> out;
+      for (std::size_t i = 0; i < bin.size(); ++i) {
+        const graph::Edge& e = bin[i];
+        if (status[i] == kAlready) {
+          ++st.already_in_spanner;
+        } else if (status[i] == kCovered) {
+          ++st.covered;
+        } else {
+          out.push_back({e.u, e.v, lens[i], e.w});
+        }
+      }
+      return out;
+    }();
     st.candidates = static_cast<int>(candidates.size());
 
     const std::vector<PhaseEdge> queries =
@@ -422,18 +477,24 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
     st.queries = static_cast<int>(queries.size());
 
     // (iii) cluster graph of G'_{i-1} (same snapshot as the cover).
-    const cluster::ClusterGraph cg = cluster::build_cluster_graph(csr, cover, w_prev, ws, pool);
+    const cluster::ClusterGraph cg = [&] {
+      const obs::Span span(rg_metrics().cluster_graph_span);
+      return cluster::build_cluster_graph(csr, cover, w_prev, ws, pool);
+    }();
     st.max_inter_degree = cg.max_inter_degree;
     st.max_inter_weight = cg.max_inter_weight;
 
     // (iv) shortest-path queries on H (lazy update: all answered before adds).
-    const std::vector<PhaseEdge> to_add =
-        detail::answer_queries(ws, cg.h, queries, params.t, &st.max_query_hops, pool);
+    const std::vector<PhaseEdge> to_add = [&] {
+      const obs::Span span(rg_metrics().queries_span);
+      return detail::answer_queries(ws, cg.h, queries, params.t, &st.max_query_hops, pool);
+    }();
     for (const PhaseEdge& e : to_add) result.spanner.add_edge(e.u, e.v, e.w);
     st.added = static_cast<int>(to_add.size());
 
     // (v) redundant edge removal.
     if (opts.redundancy_removal && to_add.size() >= 2) {
+      const obs::Span span(rg_metrics().redundancy_span);
       const std::vector<int> removal =
           detail::redundant_edge_removal(ws, cg.h, to_add, params.t1, mis_fn, pool);
       for (int idx : removal) {
@@ -441,6 +502,18 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
         result.spanner.remove_edge(e.u, e.v);
       }
       st.removed = static_cast<int>(removal.size());
+    }
+
+    if (obs::enabled()) {
+      const RgMetrics& m = rg_metrics();
+      obs::counter_add(m.edges_examined, st.edges_in_bin);
+      obs::counter_add(m.edges_already, st.already_in_spanner);
+      obs::counter_add(m.edges_covered, st.covered);
+      obs::counter_add(m.edges_candidate, st.candidates);
+      obs::counter_add(m.queries, st.queries);
+      obs::counter_add(m.edges_added, st.added);
+      obs::counter_add(m.edges_removed, st.removed);
+      flush_heap_ops(ws, pool);
     }
 
     result.phases.push_back(st);

@@ -8,6 +8,7 @@
 
 #include "graph/dijkstra.hpp"
 #include "graph/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace localspan::dynamic {
 
@@ -17,6 +18,58 @@ namespace {
 void sort_unique(std::vector<int>& v) {
   std::sort(v.begin(), v.end());
   v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// Engine-level metrics. dyn.ball_size / dyn.regions / dyn.region_ball /
+/// dyn.region_events and every counter are deterministic at any thread
+/// count; the *_us/_ns series are wall-clock. dyn.region_harvest_us is the
+/// per-region harvest cost the flat BatchStats sums away (satellite fix:
+/// the batch CLI surfaces its p50/p99).
+struct DynMetrics {
+  obs::MetricId events = obs::counter_id("dyn.events");
+  obs::MetricId batches = obs::counter_id("dyn.batches");
+  obs::MetricId fallbacks = obs::counter_id("dyn.fallbacks");
+  obs::MetricId edges_added = obs::counter_id("dyn.edges_added");
+  obs::MetricId edges_removed = obs::counter_id("dyn.edges_removed");
+  obs::MetricId merged_events = obs::counter_id("dyn.merged_events");
+  obs::MetricId heap_pushes = obs::counter_id("dyn.heap_pushes");
+  obs::MetricId heap_pops = obs::counter_id("dyn.heap_pops");
+  obs::MetricId ball_size = obs::histogram_id("dyn.ball_size");
+  obs::MetricId certify_scope = obs::histogram_id("dyn.certify_scope");
+  obs::MetricId regions = obs::histogram_id("dyn.regions");
+  obs::MetricId region_ball = obs::histogram_id("dyn.region_ball");
+  obs::MetricId region_events = obs::histogram_id("dyn.region_events");
+  obs::MetricId region_harvest_us = obs::histogram_id("dyn.region_harvest_us");
+  obs::MetricId apply_span = obs::span_id("dyn.apply");
+  obs::MetricId batch_span = obs::span_id("dyn.apply_batch");
+  obs::MetricId ball_span = obs::span_id("dyn.ball");
+  obs::MetricId rerun_span = obs::span_id("dyn.rerun");
+  obs::MetricId splice_span = obs::span_id("dyn.splice");
+  obs::MetricId certify_span = obs::span_id("dyn.certify");
+  obs::MetricId region_span = obs::span_id("dyn.region_harvest");
+  obs::MetricId full_span = obs::span_id("dyn.full_recompute");
+};
+
+const DynMetrics& dyn_metrics() {
+  static const DynMetrics m;
+  return m;
+}
+
+/// Drain heap tallies accumulated by engine-level searches (dirty-ball and
+/// certify sweeps) into dyn.heap_*; the nested relaxed_greedy runs flush
+/// their own workspaces into rg.heap_* at phase boundaries.
+void flush_heap_ops(graph::DijkstraWorkspace& ws, runtime::WorkerPool* pool) {
+  if (!obs::enabled()) return;
+  auto [pushes, pops] = ws.take_heap_ops();
+  if (pool != nullptr) {
+    for (int w = 0; w < pool->threads(); ++w) {
+      const auto [a, b] = pool->workspace(w).take_heap_ops();
+      pushes += a;
+      pops += b;
+    }
+  }
+  obs::counter_add(dyn_metrics().heap_pushes, pushes);
+  obs::counter_add(dyn_metrics().heap_pops, pops);
 }
 
 /// Adapts the (optional) user-supplied std::function weight transform to the
@@ -179,6 +232,7 @@ void DynamicSpanner::check_position(const geom::Point& pos) const {
 }
 
 void DynamicSpanner::full_recompute() {
+  const obs::Span span(dyn_metrics().full_span);
   spanner_ = core::relaxed_greedy(inst_, params_, opts_.greedy).spanner;
 }
 
@@ -248,9 +302,11 @@ void DynamicSpanner::update_ubg_into(const ChurnEvent& ev, int* spanner_removed,
 void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
                             std::vector<int>* modified) {
   const std::function<double(double)>& tf = opts_.greedy.weight_transform;
-  const graph::SpView sp =
-      tf ? ws_.multi_bounded(inst_.g, touched, ball_radius_, TransformRef{&tf})
-         : ws_.multi_bounded(inst_.g, touched, ball_radius_);
+  const graph::SpView sp = [&] {
+    const obs::Span span(dyn_metrics().ball_span);
+    return tf ? ws_.multi_bounded(inst_.g, touched, ball_radius_, TransformRef{&tf})
+              : ws_.multi_bounded(inst_.g, touched, ball_radius_);
+  }();
 
   // Scratch reuse: local_id/in_core are event-clean members (-1/0 outside
   // the previous ball, reset below before returning). The ball is exactly
@@ -270,6 +326,8 @@ void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
     }
   }
   st->ball_size = static_cast<int>(ball.size());
+  obs::histogram_record(dyn_metrics().ball_size, st->ball_size);
+  flush_heap_ops(ws_, nullptr);
 
   // The α-UBG induced on B is itself a valid α-UBG over the ball's points,
   // so the whole static pipeline applies to it unchanged.
@@ -288,31 +346,37 @@ void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
   }
 
   graph::Graph local(0);
-  if (sub.g.n() > 0) local = core::relaxed_greedy(sub, params_, opts_.greedy).spanner;
+  if (sub.g.n() > 0) {
+    const obs::Span span(dyn_metrics().rerun_span);
+    local = core::relaxed_greedy(sub, params_, opts_.greedy).spanner;
+  }
 
   // Splice. Drop standing edges with both endpoints in the core (the local
   // result replaces them); keep everything crossing the boundary so distant
   // witnesses survive; insert every locally chosen edge.
-  for (int v : ball) {
-    if (!in_core[static_cast<std::size_t>(v)]) continue;
-    std::vector<int> drop;
-    for (const graph::Neighbor& nb : spanner_.neighbors(v)) {
-      if (v < nb.to && in_core[static_cast<std::size_t>(nb.to)]) drop.push_back(nb.to);
+  {
+    const obs::Span span(dyn_metrics().splice_span);
+    for (int v : ball) {
+      if (!in_core[static_cast<std::size_t>(v)]) continue;
+      std::vector<int> drop;
+      for (const graph::Neighbor& nb : spanner_.neighbors(v)) {
+        if (v < nb.to && in_core[static_cast<std::size_t>(nb.to)]) drop.push_back(nb.to);
+      }
+      for (int u : drop) {
+        spanner_.remove_edge(v, u);
+        ++st->spanner_edges_removed;
+        modified->push_back(v);
+        modified->push_back(u);
+      }
     }
-    for (int u : drop) {
-      spanner_.remove_edge(v, u);
-      ++st->spanner_edges_removed;
-      modified->push_back(v);
-      modified->push_back(u);
-    }
-  }
-  for (const graph::Edge& e : local.edges()) {
-    const int gu = ball[static_cast<std::size_t>(e.u)];
-    const int gv = ball[static_cast<std::size_t>(e.v)];
-    if (spanner_.add_edge(gu, gv, e.w)) {
-      ++st->spanner_edges_added;
-      modified->push_back(gu);
-      modified->push_back(gv);
+    for (const graph::Edge& e : local.edges()) {
+      const int gu = ball[static_cast<std::size_t>(e.u)];
+      const int gv = ball[static_cast<std::size_t>(e.v)];
+      if (spanner_.add_edge(gu, gv, e.w)) {
+        ++st->spanner_edges_added;
+        modified->push_back(gu);
+        modified->push_back(gv);
+      }
     }
   }
 
@@ -324,6 +388,7 @@ void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
 }
 
 bool DynamicSpanner::certify(const std::vector<int>& modified, int* scope_size_out) const {
+  const obs::Span span(dyn_metrics().certify_span);
   const std::function<double(double)>& tf = opts_.greedy.weight_transform;
   const double scope_radius = witness_bound_ + wmax_;
   // Scratch reuse: in_scope is an event-clean member (all-0 between calls);
@@ -382,6 +447,7 @@ bool DynamicSpanner::certify(const std::vector<int>& modified, int* scope_size_o
   };
   bool all_ok = true;
   const int scope_count = full_scope ? inst_.g.n() : static_cast<int>(scratch_scoped_.size());
+  obs::histogram_record(dyn_metrics().certify_scope, scope_count);
   runtime::WorkerPool* const pool =
       pool_.has_value() ? &*pool_ : opts_.greedy.worker_pool;  // caller-owned pools count too
   if (pool != nullptr && pool->threads() > 1) {
@@ -403,10 +469,12 @@ bool DynamicSpanner::certify(const std::vector<int>& modified, int* scope_size_o
     }
   }
   reset_scope();
+  flush_heap_ops(ws_, pool);
   return all_ok;
 }
 
 RepairStats DynamicSpanner::apply(const ChurnEvent& ev) {
+  const obs::Span span(dyn_metrics().apply_span);
   const auto t0 = std::chrono::steady_clock::now();
   RepairStats st;
   st.kind = ev.kind;
@@ -437,6 +505,13 @@ RepairStats DynamicSpanner::apply(const ChurnEvent& ev) {
   }
 
   st.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (obs::enabled()) {
+    const DynMetrics& m = dyn_metrics();
+    obs::counter_add(m.events, 1);
+    obs::counter_add(m.edges_added, st.spanner_edges_added);
+    obs::counter_add(m.edges_removed, st.spanner_edges_removed);
+    if (st.fell_back) obs::counter_add(m.fallbacks, 1);
+  }
   return st;
 }
 
@@ -454,6 +529,7 @@ std::vector<RepairStats> DynamicSpanner::apply_all(const ChurnTrace& trace) {
 }
 
 BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
+  const obs::Span batch_span(dyn_metrics().batch_span);
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed = [&t0] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -511,11 +587,16 @@ BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
     batch_union_.clear();
     int nregions = 0;
     if (!batch_modified_.empty()) {
-      const graph::SpView sp =
-          tf ? ws_.multi_bounded(inst_.g, batch_modified_, ball_radius_, TransformRef{&tf})
-             : ws_.multi_bounded(inst_.g, batch_modified_, ball_radius_);
+      const graph::SpView sp = [&] {
+        const obs::Span span(dyn_metrics().ball_span);
+        return tf ? ws_.multi_bounded(inst_.g, batch_modified_, ball_radius_, TransformRef{&tf})
+                  : ws_.multi_bounded(inst_.g, batch_modified_, ball_radius_);
+      }();
       batch_union_.assign(sp.touched().begin(), sp.touched().end());
       std::sort(batch_union_.begin(), batch_union_.end());
+      obs::histogram_record(dyn_metrics().ball_size,
+                            static_cast<std::int64_t>(batch_union_.size()));
+      flush_heap_ops(ws_, nullptr);
 
       // Phase 3: deterministic region partition. Label U's connected
       // components (BFS in ascending node order over the U-induced
@@ -591,6 +672,7 @@ BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
       }
       st.regions = nregions;
       st.merged_events = balled_events - nregions;
+      obs::histogram_record(dyn_metrics().regions, nregions);
 
       if (batch_regions_.size() < static_cast<std::size_t>(nregions)) {
         batch_regions_.resize(static_cast<std::size_t>(nregions));
@@ -641,8 +723,15 @@ BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
     // frozen until the commit phase, so the harvested drops/adds are
     // schedule-independent; with the serial in-order commit the result is
     // bit-identical at every thread count.
+    // Per-region harvest times (satellite fix: the flat BatchStats sums them
+    // away). Enabled-mode only — the disabled path stays alloc-free.
+    const bool obs_on = obs::enabled();
+    std::vector<std::int64_t> harvest_us;
+    if (obs_on) harvest_us.assign(static_cast<std::size_t>(nregions), 0);
     const auto harvest_region = [&](int r, std::vector<int>& local_id, std::vector<char>& in_core,
                                     const core::RelaxedGreedyOptions& gopts) {
+      const obs::Span span(dyn_metrics().region_span);
+      const auto h0 = std::chrono::steady_clock::now();
       RegionScratch& rg = batch_regions_[static_cast<std::size_t>(r)];
       const auto n = static_cast<std::size_t>(inst_.g.n());
       if (local_id.size() < n) local_id.resize(n, -1);
@@ -692,6 +781,11 @@ BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
       }
       for (int v : rg.ball) local_id[static_cast<std::size_t>(v)] = -1;
       for (int v : rg.core) in_core[static_cast<std::size_t>(v)] = 0;
+      if (obs_on) {
+        harvest_us[static_cast<std::size_t>(r)] = std::chrono::duration_cast<std::chrono::microseconds>(
+                                                      std::chrono::steady_clock::now() - h0)
+                                                      .count();
+      }
     };
 
     // Region sizes are skewed (one merged burst region next to many
@@ -702,6 +796,8 @@ BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
     // the one rerun when a team exists); relaxed_greedy is bit-identical at
     // every thread count, so nothing observable changes.
     const bool parallel_regions = tm != nullptr && tm->threads() > 1 && nregions > 1;
+    {
+    const obs::Span splice_span(dyn_metrics().splice_span);
     runtime::scatter_commit(
         parallel_regions ? tm : nullptr, ws_, nregions,
         [&](graph::DijkstraWorkspace&, int worker, int r) {
@@ -715,6 +811,12 @@ BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
         },
         [&](int r) {
           RegionScratch& rg = batch_regions_[static_cast<std::size_t>(r)];
+          if (obs_on) {
+            const DynMetrics& m = dyn_metrics();
+            obs::histogram_record(m.region_ball, static_cast<std::int64_t>(rg.ball.size()));
+            obs::histogram_record(m.region_events, static_cast<std::int64_t>(rg.events.size()));
+            obs::histogram_record(m.region_harvest_us, harvest_us[static_cast<std::size_t>(r)]);
+          }
           st.sub_edges += rg.sub_edges;
           for (const auto& [u, v] : rg.drops) {
             spanner_.remove_edge(u, v);
@@ -730,6 +832,7 @@ BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
             }
           }
         });
+    }
     sort_unique(batch_modified_);
 
     // Phase 6: one merged-scope certification replaces the per-event
@@ -757,6 +860,15 @@ BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
   }
 
   st.seconds = elapsed();
+  if (obs::enabled()) {
+    const DynMetrics& m = dyn_metrics();
+    obs::counter_add(m.batches, 1);
+    obs::counter_add(m.events, st.events);
+    obs::counter_add(m.merged_events, st.merged_events);
+    obs::counter_add(m.edges_added, st.spanner_edges_added);
+    obs::counter_add(m.edges_removed, st.spanner_edges_removed);
+    if (st.fell_back) obs::counter_add(m.fallbacks, 1);
+  }
   return st;
 }
 

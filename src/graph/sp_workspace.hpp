@@ -211,6 +211,16 @@ class DijkstraWorkspace {
   /// The number of searches started (SpView staleness token). Test hook.
   [[nodiscard]] std::uint64_t searches() const noexcept { return token_; }
 
+  /// Drain the accumulated heap push/pop tallies since the last take (plain
+  /// increments in the hot loop — this header stays observability-agnostic;
+  /// callers flush them into obs counters at phase boundaries).
+  [[nodiscard]] std::pair<long long, long long> take_heap_ops() noexcept {
+    const std::pair<long long, long long> out{heap_pushes_, heap_pops_};
+    heap_pushes_ = 0;
+    heap_pops_ = 0;
+    return out;
+  }
+
   /// Is a search currently running? The workspace is single-owner: two
   /// concurrent searches would silently corrupt each other's stamps, so
   /// run() enforces this with a cheap in-use flag (two relaxed atomic ops
@@ -294,6 +304,7 @@ class DijkstraWorkspace {
   }
 
   void heap_push(double d, int v) {
+    ++heap_pushes_;
     heap_.push_back({d, v});
     std::size_t i = heap_.size() - 1;
     while (i > 0) {
@@ -305,6 +316,7 @@ class DijkstraWorkspace {
   }
 
   HeapItem heap_pop() {
+    ++heap_pops_;
     const HeapItem top = heap_.front();
     heap_.front() = heap_.back();
     heap_.pop_back();
@@ -370,6 +382,8 @@ class DijkstraWorkspace {
   std::vector<int> touched_;  ///< vertices stamped by the current search.
   std::vector<HeapItem> heap_;
   std::uint32_t epoch_now_ = 0;
+  long long heap_pushes_ = 0;  ///< since the last take_heap_ops().
+  long long heap_pops_ = 0;
   std::uint64_t token_ = 0;  ///< search counter, invalidates outstanding views.
   int n_ = 0;                ///< vertex count of the current search's graph.
   InUseFlag in_use_;         ///< single-owner enforcement (see in_use()).

@@ -2,7 +2,26 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace localspan::runtime {
+
+namespace {
+
+/// The paper's communication measure: messages/bytes per synchronous round.
+struct NetMetrics {
+  obs::MetricId rounds = obs::counter_id("net.rounds");
+  obs::MetricId messages = obs::counter_id("net.messages");
+  obs::MetricId bytes = obs::counter_id("net.bytes");
+  obs::MetricId round_messages = obs::histogram_id("net.round_messages");
+};
+
+const NetMetrics& net_metrics() {
+  static const NetMetrics m;
+  return m;
+}
+
+}  // namespace
 
 SyncNetwork::SyncNetwork(const graph::Graph& topo, RoundLedger* ledger, std::string section)
     : topo_(topo),
@@ -33,6 +52,13 @@ void SyncNetwork::end_round() {
   }
   ++rounds_;
   messages_ += delivered;
+  if (obs::enabled()) {
+    const NetMetrics& m = net_metrics();
+    obs::counter_add(m.rounds, 1);
+    obs::counter_add(m.messages, delivered);
+    obs::counter_add(m.bytes, delivered * static_cast<long long>(sizeof(Packet)));
+    obs::histogram_record(m.round_messages, delivered);
+  }
   if (ledger_ != nullptr) ledger_->charge(section_, 1, delivered);
 }
 

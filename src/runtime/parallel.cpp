@@ -1,13 +1,36 @@
 #include "runtime/parallel.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "obs/obs.hpp"
 
 namespace localspan::runtime {
 
 namespace {
 
 constexpr int kMaxThreads = 256;
+
+/// Registered once on first use (allocates); every later probe is slab-only.
+struct PoolMetrics {
+  obs::MetricId dispatches = obs::counter_id("pool.dispatches");
+  obs::MetricId tasks = obs::counter_id("pool.tasks");
+  obs::MetricId idle_ns = obs::counter_id("pool.idle_ns");
+  obs::MetricId chunk = obs::span_id("pool.chunk");
+};
+
+const PoolMetrics& pool_metrics() {
+  static const PoolMetrics m;
+  return m;
+}
+
+std::int64_t mono_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 int clamp_threads(long v) noexcept {
   if (v < 1) return 1;
@@ -89,10 +112,15 @@ void ThreadPool::dispatch(TaskFn fn, void* ctx, int begin, int end) {
     ++generation_;
     cv_start_.notify_all();
   }
+  obs::counter_add(pool_metrics().dispatches, 1);
   // The calling thread is worker 0.
   try {
     const auto [lo, hi] = chunk(begin, end, 0);
-    if (lo < hi) fn(ctx, 0, lo, hi);
+    if (lo < hi) {
+      const obs::Span span(pool_metrics().chunk);
+      obs::counter_add(pool_metrics().tasks, 1);
+      fn(ctx, 0, lo, hi);
+    }
   } catch (...) {
     errors_[0] = std::current_exception();
   }
@@ -113,10 +141,19 @@ void ThreadPool::dispatch(TaskFn fn, void* ctx, int begin, int end) {
 }
 
 void ThreadPool::worker_loop(int worker) {
+  {
+    char label[32];
+    std::snprintf(label, sizeof(label), "worker %d", worker);
+    obs::set_thread_label(label);  // unconditional: named even if obs is
+                                   // enabled only after the pool spawned.
+  }
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(mutex_);
   while (true) {
+    const bool timing = obs::enabled();
+    const std::int64_t idle_t0 = timing ? mono_ns() : 0;
     cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (timing) obs::counter_add(pool_metrics().idle_ns, mono_ns() - idle_t0);
     if (stop_) return;
     seen = generation_;
     const TaskFn fn = task_fn_;
@@ -127,7 +164,11 @@ void ThreadPool::worker_loop(int worker) {
     std::exception_ptr err;
     try {
       const auto [lo, hi] = chunk(begin, end, worker);
-      if (lo < hi) fn(ctx, worker, lo, hi);
+      if (lo < hi) {
+        const obs::Span span(pool_metrics().chunk);
+        obs::counter_add(pool_metrics().tasks, 1);
+        fn(ctx, worker, lo, hi);
+      }
     } catch (...) {
       err = std::current_exception();
     }

@@ -1,0 +1,117 @@
+# Observability smoke test for localspan_cli, run as a CTest script:
+#   cmake -DCLI=<path> -DWORK_DIR=<dir> -P cli_obs_smoke.cmake
+#
+# Drives the demo-mode batched dynamic pipeline with --trace/--obs-json and
+# validates the exported artifacts with CMake's JSON parser: the Chrome
+# trace must carry events on at least two distinct thread tracks (main +
+# pool workers), and the metrics snapshot must carry the dyn.* counters the
+# batch path is instrumented with.
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<localspan_cli> -DWORK_DIR=<dir> -P cli_obs_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${CLI}" dynamic --batch --threads 2 --n 512 --events 64
+          --trace obs_trace.json --obs-json obs_stats.json
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "localspan_cli dynamic --batch exited ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "final audit: PASS")
+  message(FATAL_ERROR "dynamic --batch did not pass its final audit:\n${out}")
+endif()
+if(NOT out MATCHES "per-region harvest:")
+  message(FATAL_ERROR "dynamic --batch did not print per-region obs stats:\n${out}")
+endif()
+
+foreach(artifact obs_trace.json obs_stats.json)
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "dynamic --batch did not create ${artifact}")
+  endif()
+endforeach()
+
+# --- Chrome trace: parseable, with >= 2 distinct tids among the X events ---
+file(READ "${WORK_DIR}/obs_trace.json" trace)
+string(JSON n_events ERROR_VARIABLE ev_err LENGTH "${trace}" "traceEvents")
+if(NOT ev_err STREQUAL "NOTFOUND")
+  message(FATAL_ERROR "obs_trace.json has no traceEvents array: ${ev_err}")
+endif()
+if(n_events LESS 2)
+  message(FATAL_ERROR "obs_trace.json has only ${n_events} trace events")
+endif()
+# CMake's string(JSON) reparses the whole document per GET, so scanning a
+# many-thousand-event trace is quadratic; the first few hundred events
+# already contain the metadata block and events from every track.
+set(scan_cap 400)
+math(EXPR last_event "${n_events} - 1")
+if(last_event GREATER ${scan_cap})
+  set(last_event ${scan_cap})
+endif()
+set(tids "")
+set(x_events 0)
+set(meta_events 0)
+foreach(idx RANGE ${last_event})
+  string(JSON ph GET "${trace}" "traceEvents" ${idx} "ph")
+  string(JSON tid GET "${trace}" "traceEvents" ${idx} "tid")
+  if(ph STREQUAL "X")
+    math(EXPR x_events "${x_events} + 1")
+    list(APPEND tids "${tid}")
+    string(JSON dur GET "${trace}" "traceEvents" ${idx} "dur")
+    if(dur LESS 0)
+      message(FATAL_ERROR "obs_trace.json event ${idx} has negative duration ${dur}")
+    endif()
+  elseif(ph STREQUAL "M")
+    math(EXPR meta_events "${meta_events} + 1")
+  endif()
+endforeach()
+list(REMOVE_DUPLICATES tids)
+list(LENGTH tids n_tracks)
+if(x_events LESS 1)
+  message(FATAL_ERROR "obs_trace.json has no complete (ph=X) events")
+endif()
+if(n_tracks LESS 2)
+  message(FATAL_ERROR "obs_trace.json spans only ${n_tracks} thread track(s) — expected the "
+    "main thread plus at least one pool worker at --threads 2")
+endif()
+if(meta_events LESS n_tracks)
+  message(FATAL_ERROR "obs_trace.json has ${meta_events} thread_name metadata events for "
+    "${n_tracks} tracks")
+endif()
+
+# --- Metrics snapshot: dyn.* counters and the per-region histograms -------
+file(READ "${WORK_DIR}/obs_stats.json" stats)
+string(JSON stats_enabled GET "${stats}" "enabled")
+if(NOT stats_enabled STREQUAL "ON" AND NOT stats_enabled STREQUAL "true")
+  message(FATAL_ERROR "obs_stats.json says enabled=${stats_enabled}")
+endif()
+foreach(counter dyn.events dyn.batches dyn.edges_added)
+  string(JSON val ERROR_VARIABLE c_err GET "${stats}" "counters" "${counter}")
+  if(NOT c_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "obs_stats.json lacks counter '${counter}'")
+  endif()
+  if(val LESS 1)
+    message(FATAL_ERROR "obs_stats.json counter ${counter} is ${val}, expected >= 1")
+  endif()
+endforeach()
+foreach(hist dyn.regions dyn.region_ball dyn.region_harvest_us)
+  string(JSON hcount ERROR_VARIABLE h_err GET "${stats}" "histograms" "${hist}" "count")
+  if(NOT h_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "obs_stats.json lacks histogram '${hist}'")
+  endif()
+  if(hcount LESS 1)
+    message(FATAL_ERROR "obs_stats.json histogram ${hist} is empty")
+  endif()
+endforeach()
+string(JSON batch_count GET "${stats}" "spans" "dyn.apply_batch" "count")
+if(batch_count LESS 1)
+  message(FATAL_ERROR "obs_stats.json has no dyn.apply_batch span")
+endif()
+
+message(STATUS "cli_obs_smoke: trace has ${x_events} events on ${n_tracks} tracks; all checks passed")

@@ -134,7 +134,7 @@ endforeach()
 
 # dynamic: replay the trace with incremental repair; the independent final
 # audit must certify the spanner (exit 0).
-run_cli(0 dynamic_out dynamic --in tiny.lsi --trace tiny_churn.json --eps 0.5 --quiet
+run_cli(0 dynamic_out dynamic --in tiny.lsi --churn tiny_churn.json --eps 0.5 --quiet
         --out-json tiny_dynamic.json)
 if(NOT dynamic_out MATCHES "applied 12 events" OR NOT dynamic_out MATCHES "final audit: PASS")
   message(FATAL_ERROR "dynamic output shape mismatch:\n${dynamic_out}")

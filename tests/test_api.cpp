@@ -10,16 +10,28 @@
 
 #include "api/spanner_algorithm.hpp"
 #include "core/params.hpp"
+#include "obs/obs.hpp"
 #include "scenario_matrix.hpp"
 
 namespace api = localspan::api;
 namespace core = localspan::core;
+namespace obs = localspan::obs;
 namespace testinfra = localspan::testinfra;
 using localspan::ubg::UbgInstance;
 
 namespace {
 
 core::Params practical(double alpha) { return core::Params::practical_params(0.5, alpha); }
+
+/// Flip obs on for one test body and restore the off default on every exit
+/// path (ASSERT_* returns early; the destructor still runs).
+struct ObsEnabledScope {
+  ObsEnabledScope() { obs::set_enabled(true); }
+  ~ObsEnabledScope() {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
 
 }  // namespace
 
@@ -167,6 +179,52 @@ TEST(Registry, RelaxedFamilyReportsPhaseTrace) {
       api::registry().build("relaxed", api::BuildRequest{inst, practical(inst.config.alpha), {}});
   EXPECT_FALSE(res.phases.empty());
   EXPECT_GT(res.seconds, 0.0);
+}
+
+// Satellite fix for the PhaseStats inconsistency: every algorithm reports
+// phases through the SAME pipeline (the registry diffs obs span totals
+// around construct() and filters to AlgorithmInfo::phases), so a declared
+// phase that never fires — or a fired phase that was never declared — is a
+// test failure, not a silent schema drift.
+TEST(Registry, ObsPhaseBreakdownMatchesDeclaredSchema) {
+  const ObsEnabledScope obs_scope;
+  const UbgInstance inst = testinfra::Scenario{}.make();
+  const core::Params params = practical(inst.config.alpha);
+
+  for (const std::string& name : api::registry().names()) {
+    const api::AlgorithmInfo& info = api::registry().at(name).info();
+    if (info.caps.dim2_only && inst.config.dim != 2) continue;
+    const api::BuildResult res =
+        api::registry().build(name, api::BuildRequest{inst, params, {}}, /*measure=*/false);
+    const std::vector<std::string> fallback{"construct"};
+    const std::vector<std::string>& declared = info.phases.empty() ? fallback : info.phases;
+    bool has_construct = false;
+    for (const api::PhaseCost& pc : res.phase_breakdown) {
+      EXPECT_NE(std::find(declared.begin(), declared.end(), pc.name), declared.end())
+          << name << " reported undeclared phase '" << pc.name << "'";
+      EXPECT_GT(pc.count, 0) << name << "/" << pc.name;
+      EXPECT_GE(pc.seconds, 0.0) << name << "/" << pc.name;
+      if (pc.name == "construct") {
+        has_construct = true;
+        EXPECT_EQ(pc.count, 1) << name;
+      }
+    }
+    EXPECT_TRUE(has_construct) << name << " is missing the construct phase";
+  }
+
+  // On a scenario with nonempty weight bins the relaxed pipeline must fire
+  // EVERY declared phase — a declared-but-dead phase name fails here.
+  const api::BuildResult relaxed =
+      api::registry().build("relaxed", api::BuildRequest{inst, params, {}}, /*measure=*/false);
+  ASSERT_GT(relaxed.phases.size(), 1u)
+      << "scenario has no nonempty bins; pick one that exercises the pipeline";
+  const std::vector<std::string>& schema = api::registry().at("relaxed").info().phases;
+  ASSERT_FALSE(schema.empty());
+  for (const std::string& phase : schema) {
+    const bool fired = std::any_of(relaxed.phase_breakdown.begin(), relaxed.phase_breakdown.end(),
+                                   [&](const api::PhaseCost& pc) { return pc.name == phase; });
+    EXPECT_TRUE(fired) << "declared phase '" << phase << "' never fired";
+  }
 }
 
 TEST(Registry, EnergyMeasuresAgainstTheReweightedMetric) {

@@ -192,6 +192,51 @@ foreach(artifact IN LISTS artifacts)
     if(NOT nproc_meta_err STREQUAL "NOTFOUND")
       message(FATAL_ERROR "collect_bench: E15 meta lacks nproc")
     endif()
+    # Observability hygiene: the artifact must say whether the obs layer was
+    # ambiently on, carry the measured off/on wall pair, and — in full mode —
+    # prove that compiling the probes in costs <= 3% when enabled (quick-mode
+    # cells are too small to time a single-digit percentage, so the gate is
+    # skipped loudly there).
+    string(JSON obs_enabled ERROR_VARIABLE oe_err GET "${payload}" "meta" "obs_enabled")
+    if(NOT oe_err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "collect_bench: E15 meta lacks obs_enabled")
+    endif()
+    if(NOT obs_enabled MATCHES "^(yes|no)$")
+      message(FATAL_ERROR "collect_bench: E15 meta obs_enabled is '${obs_enabled}', expected yes/no")
+    endif()
+    foreach(obs_key obs_off_ms obs_on_ms obs_overhead_pct)
+      string(JSON obs_val ERROR_VARIABLE ov_err GET "${payload}" "meta" "${obs_key}")
+      if(NOT ov_err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR "collect_bench: E15 meta lacks ${obs_key}")
+      endif()
+      to_micro(ignored "${obs_val}")  # must be a non-negative decimal
+    endforeach()
+    string(JSON obs_pct GET "${payload}" "meta" "obs_overhead_pct")
+    string(JSON e15_quick ERROR_VARIABLE e15_quick_err GET "${payload}" "meta" "quick")
+    to_micro(obs_pct_us "${obs_pct}")
+    if(e15_quick_err STREQUAL "NOTFOUND" AND e15_quick STREQUAL "yes")
+      message(WARNING "collect_bench: E15 is a quick-mode artifact — skipping the obs overhead "
+        "gate (measured ${obs_pct}%)")
+    elseif(obs_pct_us GREATER 3000000)
+      message(FATAL_ERROR "collect_bench: E15 obs overhead is ${obs_pct}% at n=2048 — the "
+        "observability layer must cost <= 3% (one branch per probe when off, cheap "
+        "relaxed-atomic bumps when on)")
+    else()
+      message(STATUS "collect_bench: E15 obs overhead gate passed (${obs_pct}% <= 3%)")
+    endif()
+    # When the artifact embeds an obs snapshot, it must have the stable shape
+    # (counters/gauges/histograms/spans members) so trajectory tooling can
+    # rely on it.
+    string(JSON obs_block ERROR_VARIABLE ob_err GET "${payload}" "obs")
+    if(ob_err STREQUAL "NOTFOUND")
+      foreach(obs_member counters gauges histograms spans)
+        string(JSON obs_member_len ERROR_VARIABLE om_err LENGTH "${payload}" "obs" "${obs_member}")
+        if(NOT om_err STREQUAL "NOTFOUND")
+          message(FATAL_ERROR "collect_bench: E15 obs block lacks '${obs_member}': ${om_err}")
+        endif()
+      endforeach()
+      message(STATUS "collect_bench: E15 obs block shape valid")
+    endif()
     # Batched-ingestion table (apply_batch): identified by its 'batch'
     # column. Quick-mode artifacts carry it too, so the presence check is
     # unconditional; the 10^4 events/s floor applies only when an n=100000

@@ -7,13 +7,20 @@
 ///   localspan_cli verify --in net.lsi --eps 0.5 [--algo NAME]
 ///   localspan_cli route --in net.lsi --eps 0.5 --trials 200 [--algo NAME]
 ///   localspan_cli trace --in net.lsi --model poisson --events 64 --out churn.json
-///   localspan_cli dynamic --in net.lsi --trace churn.json --eps 0.5
+///   localspan_cli dynamic --in net.lsi --churn churn.json --eps 0.5
+///   localspan_cli dynamic --batch --threads 4 --trace out.json --obs-json stats.json
 ///
 /// Every construction goes through the api::AlgorithmRegistry — `--algo`
 /// picks any registered algorithm, `--opt key=value` (repeatable) passes
 /// algorithm options, and `--algo list` prints the full self-description.
 /// Unknown flags and unknown algorithm options are usage errors.
 /// Exit code 0 on success / verification pass, 1 otherwise.
+///
+/// Observability: `--obs-json FILE` (metrics snapshot) and `--trace FILE`
+/// (Chrome trace events, loadable in chrome://tracing or Perfetto) on
+/// span/verify/dynamic flip the obs layer on for the run. `dynamic` with no
+/// `--in` generates a demo instance (and with no `--churn` a demo poisson
+/// trace), so the observability pipeline can be exercised with no files.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -32,6 +39,7 @@
 #include "graph/metrics.hpp"
 #include "io/serialize.hpp"
 #include "io/trace_io.hpp"
+#include "obs/obs.hpp"
 #include "route/routing.hpp"
 #include "ubg/generator.hpp"
 
@@ -101,8 +109,35 @@ class Args {
 };
 
 /// Flags shared by every command that builds a topology via the registry.
-const std::set<std::string> kBuildFlags{"in", "eps", "strict", "distributed", "seed",
-                                        "algo", "opt", "threads"};
+const std::set<std::string> kBuildFlags{"in",   "eps", "strict",  "distributed", "seed",
+                                        "algo", "opt", "threads", "obs-json",    "trace"};
+
+/// `--obs-json`/`--trace` imply observability for the run; call before any
+/// instrumented work so every probe records.
+void obs_enable_if_requested(const Args& args) {
+  if (args.has("obs-json") || args.has("trace")) obs::set_enabled(true);
+}
+
+/// Write the requested observability artifacts (after the instrumented
+/// work): `--obs-json` gets the aggregated metrics snapshot, `--trace` the
+/// Chrome trace events of every thread that recorded.
+void obs_write_outputs(const Args& args) {
+  const std::string obs_path = args.get("obs-json", "");
+  if (!obs_path.empty()) {
+    std::ofstream os(obs_path);
+    if (!os) throw std::runtime_error("cannot open " + obs_path);
+    os << obs::to_json(obs::snapshot()) << "\n";
+    std::printf("wrote %s (metrics snapshot)\n", obs_path.c_str());
+  }
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) throw std::runtime_error("cannot open " + trace_path);
+    os << obs::trace_json() << "\n";
+    std::printf("wrote %s (Chrome trace: chrome://tracing or https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+}
 
 std::set<std::string> with_build_flags(std::set<std::string> extra) {
   extra.insert(kBuildFlags.begin(), kBuildFlags.end());
@@ -122,10 +157,14 @@ int usage() {
                "          [--seed S] [--events K] [--rate R] [--join-frac F]     (poisson)\n"
                "          [--movers M] [--speed V] [--dt T] [--duration T]      (waypoint)\n"
                "          [--radius R] [--fail-time T] [--no-rejoin]            (failure)\n"
-               "  dynamic --in FILE --trace FILE --eps E [--strict] [--check off|local|full]\n"
-               "          [--baseline-full] [--linear-scan] [--batch N] [--threads N] [--quiet]\n"
-               "          [--out-json FILE]   (--batch N>1 ingests N-event windows via apply_batch;\n"
-               "          --threads T repairs disjoint regions of a window in parallel)\n"
+               "  dynamic [--in FILE] [--churn FILE] --eps E [--strict] [--check off|local|full]\n"
+               "          [--baseline-full] [--linear-scan] [--batch [N]] [--threads N] [--quiet]\n"
+               "          [--n N] [--events K] [--seed S] [--out-json FILE]\n"
+               "          (--batch ingests N-event windows via apply_batch, N defaults to 64;\n"
+               "          --threads T repairs disjoint regions of a window in parallel; with no\n"
+               "          --in/--churn a demo instance of --n nodes and --events churn events runs)\n"
+               "observability (span/verify/route/dynamic): --obs-json FILE writes the metrics\n"
+               "  snapshot, --trace FILE writes a Chrome/Perfetto trace; either flag enables obs\n"
                "run 'localspan_cli span --algo list' to enumerate registered algorithms\n");
   return 1;
 }
@@ -248,6 +287,7 @@ int cmd_span(const Args& args) {
     print_algorithm_list();
     return 0;
   }
+  obs_enable_if_requested(args);
   const ubg::UbgInstance inst = load(args);
   const api::BuildResult result = build_topology(inst, args);
   // Print a stretch bound only when the algorithm actually declares one —
@@ -260,6 +300,11 @@ int cmd_span(const Args& args) {
               inst.g.m(), result.spanner.m(), result.metrics.stretch, bound,
               result.metrics.max_degree, result.metrics.lightness, 1e3 * result.seconds);
   std::printf("declared: %s\n", result.guarantees.describe().c_str());
+  for (const api::PhaseCost& pc : result.phase_breakdown) {
+    std::printf("  phase %-16s x%-6lld %8.2f ms\n", pc.name.c_str(),
+                static_cast<long long>(pc.count), 1e3 * pc.seconds);
+  }
+  obs_write_outputs(args);
   const std::string violation = api::check_guarantees(inst, result);
   if (!violation.empty()) {
     std::fprintf(stderr, "declared-guarantee violation: %s\n", violation.c_str());
@@ -286,6 +331,7 @@ int cmd_verify(const Args& args) {
     print_algorithm_list();
     return 0;
   }
+  obs_enable_if_requested(args);
   const ubg::UbgInstance inst = load(args);
   const api::BuildResult result =
       build_topology(inst, args, /*command_uses_seed=*/false, /*measure=*/false);
@@ -302,6 +348,7 @@ int cmd_verify(const Args& args) {
   const core::VerificationReport rep =
       core::verify_spanner(*verify_against, result.spanner, 1.0 + eps);
   std::printf("%s\n", rep.summary().c_str());
+  obs_write_outputs(args);
   return rep.ok() ? 0 : 1;
 }
 
@@ -311,6 +358,7 @@ int cmd_route(const Args& args) {
     print_algorithm_list();
     return 0;
   }
+  obs_enable_if_requested(args);
   const ubg::UbgInstance inst = load(args);
   if (inst.config.dim != 2) {
     std::fprintf(stderr, "route: geometric routing demo expects dim=2\n");
@@ -327,6 +375,7 @@ int cmd_route(const Args& args) {
     std::printf("%-10s greedy routing: delivery %.1f%%, mean stretch %.3f, mean hops %.1f\n",
                 name, 100.0 * st.delivery_rate, st.mean_route_stretch, st.mean_hops);
   }
+  obs_write_outputs(args);
   return 0;
 }
 
@@ -386,12 +435,37 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_dynamic(const Args& args) {
-  args.require_known("dynamic", {"in", "trace", "eps", "strict", "check", "baseline-full",
-                                 "quiet", "out-json", "linear-scan", "batch", "threads"});
-  ubg::UbgInstance inst = load(args);
-  const std::string trace_path = args.get("trace", "");
-  if (trace_path.empty()) throw std::runtime_error("missing --trace FILE");
-  const dynamic::ChurnTrace trace = io::load_trace(trace_path);
+  args.require_known("dynamic", {"in", "churn", "eps", "strict", "check", "baseline-full",
+                                 "quiet", "out-json", "linear-scan", "batch", "threads",
+                                 "obs-json", "trace", "n", "events", "seed"});
+  obs_enable_if_requested(args);
+
+  // Demo mode: with no --in, generate an instance in place (and with no
+  // --churn, a poisson trace over it) so the full batch/obs pipeline runs
+  // with zero input files.
+  ubg::UbgInstance inst;
+  if (args.has("in")) {
+    inst = load(args);
+  } else {
+    ubg::UbgConfig cfg;
+    cfg.n = args.get_int("n", 2048);
+    cfg.alpha = 0.75;
+    cfg.dim = 2;
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    inst = ubg::make_ubg(cfg, *ubg::always_connect());
+    std::printf("demo instance: n=%d, m=%d (no --in given)\n", inst.g.n(), inst.g.m());
+  }
+  dynamic::ChurnTrace trace;
+  const std::string churn_path = args.get("churn", "");
+  if (!churn_path.empty()) {
+    trace = io::load_trace(churn_path);
+  } else {
+    dynamic::PoissonChurnConfig cfg;
+    cfg.events = args.get_int("events", 256);
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    trace = dynamic::poisson_churn(inst, cfg);
+    std::printf("demo churn: %zu poisson events (no --churn given)\n", trace.events.size());
+  }
   const std::string invalid = dynamic::validate_trace(trace, inst);
   if (!invalid.empty()) {
     std::fprintf(stderr, "dynamic: invalid trace: %s\n", invalid.c_str());
@@ -412,10 +486,14 @@ int cmd_dynamic(const Args& args) {
   opts.linear_scan_discovery = args.has("linear-scan");
   opts.threads = args.get_int("threads", 0);
   const bool quiet = args.has("quiet");
-  const int batch = args.get_int("batch", 1);
+  // `--batch` alone (no value) means "windowed, default width": the parser
+  // stores "1" for valueless flags, and a 1-event window is the per-event
+  // path anyway, so 1 promotes to the default width.
+  int batch = args.get_int("batch", 1);
   if (batch < 1) throw std::runtime_error("dynamic: --batch must be >= 1");
+  if (batch == 1 && args.has("batch")) batch = 64;
   if (batch > 1 && args.has("out-json")) {
-    throw std::runtime_error("dynamic: --out-json records per-event stats; drop it or use --batch 1");
+    throw std::runtime_error("dynamic: --out-json records per-event stats; drop it or drop --batch");
   }
 
   dynamic::DynamicSpanner engine(std::move(inst), params, opts);
@@ -462,9 +540,25 @@ int cmd_dynamic(const Args& args) {
         static_cast<double>(ball_union) / std::max(windows, 1), fallbacks);
     std::printf("final: n=%d live, %d UBG edges, %d spanner edges\n", engine.active_count(),
                 engine.instance().g.m(), engine.spanner().m());
+    // Per-region distributions (the flat BatchStats sums these away): the
+    // obs histograms keep every region's harvest cost and ball size.
+    if (obs::enabled()) {
+      const obs::Snapshot snap = obs::snapshot();
+      for (const auto& [name, h] : snap.histograms) {
+        if (name == "dyn.region_harvest_us") {
+          std::printf("per-region harvest: %lld regions, p50=%.0f us, p99=%.0f us, max=%lld us\n",
+                      static_cast<long long>(h.count), h.p50, h.p99,
+                      static_cast<long long>(h.max));
+        } else if (name == "dyn.region_ball") {
+          std::printf("per-region ball:    p50=%.0f, p99=%.0f, max=%lld nodes\n", h.p50, h.p99,
+                      static_cast<long long>(h.max));
+        }
+      }
+    }
     const core::VerificationReport rep =
         core::verify_spanner(engine.instance(), engine.spanner(), params.t);
     std::printf("final audit: %s\n", rep.summary().c_str());
+    obs_write_outputs(args);
     return rep.ok() ? 0 : 1;
   }
 
@@ -520,6 +614,7 @@ int cmd_dynamic(const Args& args) {
   const core::VerificationReport rep =
       core::verify_spanner(engine.instance(), engine.spanner(), params.t);
   std::printf("final audit: %s\n", rep.summary().c_str());
+  obs_write_outputs(args);
   return rep.ok() ? 0 : 1;
 }
 
@@ -527,6 +622,7 @@ int cmd_dynamic(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  obs::set_thread_label("main");
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv, 2);
