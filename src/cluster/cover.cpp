@@ -124,6 +124,62 @@ ClusterCover sequential_cover(const graph::CsrView& gp, double radius,
   return cover;
 }
 
+namespace {
+
+/// Connected-component count of a frozen CSR snapshot (plain BFS). Local to
+/// cover_hierarchy's stopping rule; graph/components.hpp stays Graph-based.
+int csr_component_count(const graph::CsrView& gp) {
+  const int n = gp.n();
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<int> queue;
+  int count = 0;
+  for (int s = 0; s < n; ++s) {
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    ++count;
+    seen[static_cast<std::size_t>(s)] = 1;
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int u = queue[head];
+      for (const graph::Neighbor& nb : gp.neighbors(u)) {
+        if (!seen[static_cast<std::size_t>(nb.to)]) {
+          seen[static_cast<std::size_t>(nb.to)] = 1;
+          queue.push_back(nb.to);
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+CoverHierarchy cover_hierarchy(const graph::CsrView& gp, double base_radius, double ratio,
+                               int max_levels, graph::DijkstraWorkspace& ws,
+                               runtime::WorkerPool* pool) {
+  if (base_radius <= 0.0) throw std::invalid_argument("cover_hierarchy: base_radius must be > 0");
+  if (ratio <= 1.0) throw std::invalid_argument("cover_hierarchy: ratio must be > 1");
+  if (max_levels < 1) throw std::invalid_argument("cover_hierarchy: max_levels must be >= 1");
+
+  CoverHierarchy hier;
+  if (gp.n() == 0) {
+    hier.complete = true;
+    return hier;
+  }
+  const int components = csr_component_count(gp);
+  double radius = base_radius;
+  for (int level = 0; level < max_levels; ++level) {
+    hier.radii.push_back(radius);
+    hier.levels.push_back(sequential_cover(gp, radius, ws, pool));
+    if (static_cast<int>(hier.levels.back().centers.size()) == components) {
+      hier.complete = true;
+      break;
+    }
+    radius *= ratio;
+  }
+  return hier;
+}
+
 ClusterCover mis_cover(const graph::Graph& gp, double radius,
                        const std::function<std::vector<int>(const graph::Graph&)>& mis) {
   if (radius < 0.0) throw std::invalid_argument("mis_cover: negative radius");

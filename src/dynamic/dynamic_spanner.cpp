@@ -232,6 +232,7 @@ void DynamicSpanner::check_position(const geom::Point& pos) const {
 }
 
 void DynamicSpanner::full_recompute() {
+  const CommitNotifier notify(*this);
   const obs::Span span(dyn_metrics().full_span);
   spanner_ = core::relaxed_greedy(inst_, params_, opts_.greedy).spanner;
 }
@@ -474,6 +475,7 @@ bool DynamicSpanner::certify(const std::vector<int>& modified, int* scope_size_o
 }
 
 RepairStats DynamicSpanner::apply(const ChurnEvent& ev) {
+  const CommitNotifier notify(*this);
   const obs::Span span(dyn_metrics().apply_span);
   const auto t0 = std::chrono::steady_clock::now();
   RepairStats st;
@@ -539,8 +541,9 @@ BatchStats DynamicSpanner::apply_batch(std::span<const ChurnEvent> events) {
   region_of_event_.assign(events.size(), -1);
   if (events.empty()) {
     st.seconds = elapsed();
-    return st;
+    return st;  // no mutation happened: the commit hook intentionally stays silent
   }
+  const CommitNotifier notify(*this);
   const int count = static_cast<int>(events.size());
   if (batch_touched_.size() < events.size()) batch_touched_.resize(events.size());
 

@@ -31,6 +31,8 @@
 /// argument.
 
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <span>
 #include <string>
 #include <utility>
@@ -209,6 +211,20 @@ class DynamicSpanner {
   /// certification-failure fallback).
   void full_recompute();
 
+  /// Install a post-commit hook, invoked after every *completed* top-level
+  /// mutation — apply() (so once per event under apply_all), apply_batch()
+  /// (once per window), or a direct full_recompute() — with the engine in a
+  /// consistent state. The serve layer's QueryEngine uses this to republish
+  /// an immutable topology snapshot on window commit. The hook runs on the
+  /// mutating thread with the engine borrowed const; it must not mutate the
+  /// engine and must not throw. It is NOT invoked when a mutation exits by
+  /// exception (even though apply_batch restores a certified state before
+  /// rethrowing): the read side then simply keeps serving the previous
+  /// snapshot, which is exactly the RCU contract.
+  void set_commit_hook(std::function<void(const DynamicSpanner&)> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
   [[nodiscard]] const ubg::UbgInstance& instance() const noexcept { return inst_; }
   [[nodiscard]] const graph::Graph& spanner() const noexcept { return spanner_; }
   [[nodiscard]] const core::Params& params() const noexcept { return params_; }
@@ -239,6 +255,28 @@ class DynamicSpanner {
   }
 
  private:
+  /// Depth-counted RAII around every mutating entry point: the hook fires
+  /// exactly once, when the *outermost* mutation completes normally (the
+  /// certify-failure path reaches full_recompute() from inside apply() /
+  /// apply_batch(), which must not double-fire), and never during stack
+  /// unwinding (a hook must not run — let alone throw — mid-propagation).
+  struct CommitNotifier {
+    explicit CommitNotifier(DynamicSpanner& e) noexcept
+        : eng(e), exceptions_on_entry(std::uncaught_exceptions()) {
+      ++eng.mutation_depth_;
+    }
+    ~CommitNotifier() {
+      if (--eng.mutation_depth_ == 0 && eng.commit_hook_ &&
+          std::uncaught_exceptions() == exceptions_on_entry) {
+        eng.commit_hook_(eng);
+      }
+    }
+    CommitNotifier(const CommitNotifier&) = delete;
+    CommitNotifier& operator=(const CommitNotifier&) = delete;
+    DynamicSpanner& eng;
+    int exceptions_on_entry;
+  };
+
   [[nodiscard]] double active_weight(double len) const;
   [[nodiscard]] geom::Point parked_position(int v) const;
   void ensure_slot(int v);
@@ -340,6 +378,10 @@ class DynamicSpanner {
   /// results are combined with a single boolean AND, so certification is
   /// deterministic at every thread count.
   mutable std::optional<runtime::WorkerPool> pool_;
+
+  /// Post-commit notification (see set_commit_hook / CommitNotifier).
+  std::function<void(const DynamicSpanner&)> commit_hook_;
+  int mutation_depth_ = 0;
 };
 
 }  // namespace localspan::dynamic

@@ -1,0 +1,39 @@
+#include "graph/labels.hpp"
+
+namespace localspan::graph {
+
+void LandmarkLabels::assign(const std::vector<std::vector<LabelEntry>>& rows) {
+  offsets_.clear();
+  entries_.clear();
+  offsets_.reserve(rows.size() + 1);
+  offsets_.push_back(0);
+  std::size_t total = 0;
+  for (const auto& row : rows) total += row.size();
+  entries_.reserve(total);
+  for (const auto& row : rows) {
+    entries_.insert(entries_.end(), row.begin(), row.end());
+    offsets_.push_back(static_cast<int>(entries_.size()));
+  }
+}
+
+double min_common_distance(std::span<const LabelEntry> a,
+                           std::span<const LabelEntry> b) noexcept {
+  double best = kInf;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].center < b[j].center) {
+      ++i;
+    } else if (b[j].center < a[i].center) {
+      ++j;
+    } else {
+      const double via = a[i].dist + b[j].dist;
+      if (via < best) best = via;
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+}  // namespace localspan::graph

@@ -1,0 +1,71 @@
+#pragma once
+/// \file labels.hpp
+/// Flat landmark-label storage for the cluster-cover routing oracle.
+///
+/// A distance oracle built on the §2 cluster covers stores, for every vertex
+/// v and every cover level ℓ, the set of level-ℓ centers within graph
+/// distance β·r_ℓ of v together with the exact shortest-path distance to
+/// each. A two-vertex distance query is then a sorted-merge intersection of
+/// two such label rows — O(|label(u)| + |label(v)|), no graph traversal.
+///
+/// This header owns only the *container*: a CSR-shaped (offsets + flat
+/// entry array) structure, one per cover level, frozen after construction.
+/// Rows are sorted by center id (the oracle builder commits per-center
+/// results in ascending center order, which produces that invariant for
+/// free), so `min_common_distance` is a linear merge.
+///
+/// Everything here is plain value-semantic data: snapshots of it can be
+/// published read-only to concurrent reader threads, and `operator==` gives
+/// the bit-identity check the determinism suite runs across thread counts.
+
+#include <span>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+
+namespace localspan::graph {
+
+/// One landmark in a vertex's label: a cover center and the exact
+/// shortest-path distance to it (in the spanner the label was built on).
+struct LabelEntry {
+  int center = -1;
+  double dist = 0.0;
+
+  bool operator==(const LabelEntry&) const = default;
+};
+
+/// Frozen per-vertex landmark labels for one cover level.
+class LandmarkLabels {
+ public:
+  LandmarkLabels() = default;
+
+  /// Freeze from per-vertex rows. Each rows[v] must already be sorted by
+  /// ascending center id (asserted in debug builds by the oracle's tests,
+  /// relied on by min_common_distance).
+  void assign(const std::vector<std::vector<LabelEntry>>& rows);
+
+  [[nodiscard]] int n() const noexcept { return static_cast<int>(offsets_.size()) - 1; }
+
+  [[nodiscard]] std::span<const LabelEntry> at(int v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return {entries_.data() + offsets_[i], entries_.data() + offsets_[i + 1]};
+  }
+
+  [[nodiscard]] long long total_entries() const noexcept {
+    return static_cast<long long>(entries_.size());
+  }
+
+  /// Bit-identity across builds (the determinism contract's witness).
+  bool operator==(const LandmarkLabels&) const = default;
+
+ private:
+  std::vector<int> offsets_{0};
+  std::vector<LabelEntry> entries_;
+};
+
+/// min over centers c present in both rows of a.dist(c) + b.dist(c); kInf
+/// when the rows share no center. Linear merge over the sorted rows.
+[[nodiscard]] double min_common_distance(std::span<const LabelEntry> a,
+                                         std::span<const LabelEntry> b) noexcept;
+
+}  // namespace localspan::graph

@@ -13,7 +13,12 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/sp_workspace.hpp"
 #include "ubg/generator.hpp"
+
+namespace localspan::runtime {
+class WorkerPool;
+}  // namespace localspan::runtime
 
 namespace localspan::route {
 
@@ -37,6 +42,12 @@ struct RouteResult {
 [[nodiscard]] RouteResult route_packet(const ubg::UbgInstance& inst, const graph::Graph& topo,
                                        int s, int d, Forwarding rule, int max_hops = 10000);
 
+/// Same walk on a frozen CSR snapshot — the form the serving read side and
+/// the warmed evaluation harness use (identical output; the snapshot just
+/// removes the per-vertex pointer chase).
+[[nodiscard]] RouteResult route_packet(const ubg::UbgInstance& inst, const graph::CsrView& topo,
+                                       int s, int d, Forwarding rule, int max_hops = 10000);
+
 /// Aggregate routing quality over random connected source-destination pairs.
 struct RoutingStats {
   int trials = 0;
@@ -47,6 +58,20 @@ struct RoutingStats {
   double worst_route_stretch = 0.0;
 };
 
+/// Warmed evaluation: the caller owns the frozen snapshot and the
+/// epoch-stamped workspace, so repeated evaluations (several rules, several
+/// topologies, the CLI's spanner-vs-UBG comparison) share buffers and the
+/// steady state allocates only per-trial route paths. With a non-null
+/// `pool`, candidate pairs are drawn serially from the seed, evaluated in
+/// parallel on per-worker workspaces and accepted in draw order — so the
+/// stats are bit-identical to the serial sweep at every thread count.
+[[nodiscard]] RoutingStats evaluate_routing(const ubg::UbgInstance& inst,
+                                            const graph::CsrView& topo, Forwarding rule,
+                                            int trials, std::uint64_t seed,
+                                            graph::DijkstraWorkspace& ws,
+                                            runtime::WorkerPool* pool = nullptr);
+
+/// Convenience form: snapshots `topo` and builds a workspace per call.
 [[nodiscard]] RoutingStats evaluate_routing(const ubg::UbgInstance& inst,
                                             const graph::Graph& topo, Forwarding rule,
                                             int trials, std::uint64_t seed);

@@ -373,6 +373,109 @@ foreach(artifact IN LISTS artifacts)
       endforeach()
     endif()
   endif()
+  # E16 is the query-serving bench: the artifact must carry the stretch
+  # verdict (every served distance within the oracle's declared bound), the
+  # oracle-vs-Dijkstra table with its speedup column, and the concurrent-
+  # serving latency table. The speedup gate is algorithmic (labels vs a
+  # per-query graph search), so unlike the thread-scaling gates it applies
+  # regardless of core count — only quick mode (problem sizes too small for
+  # a stable ratio at n=2048) skips it, loudly.
+  if(id STREQUAL "E16")
+    foreach(e16_key stretch_ok nproc quick)
+      string(JSON e16_val ERROR_VARIABLE e16_err GET "${payload}" "meta" "${e16_key}")
+      if(NOT e16_err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR "collect_bench: E16 meta lacks ${e16_key}")
+      endif()
+    endforeach()
+    string(JSON e16_stretch GET "${payload}" "meta" "stretch_ok")
+    if(NOT e16_stretch STREQUAL "yes")
+      message(FATAL_ERROR "collect_bench: E16 stretch_ok is '${e16_stretch}' — a served "
+        "distance fell outside [exact, bound * exact]")
+    endif()
+    string(JSON e16_quick GET "${payload}" "meta" "quick")
+    # Table 0: oracle vs per-query Dijkstra. Locate the speedup column.
+    string(JSON e16_cols LENGTH "${payload}" "tables" 0 "columns")
+    math(EXPR e16_last_col "${e16_cols} - 1")
+    set(e16_speedup_col -1)
+    foreach(col_idx RANGE ${e16_last_col})
+      string(JSON col GET "${payload}" "tables" 0 "columns" ${col_idx})
+      if(col STREQUAL "speedup")
+        set(e16_speedup_col ${col_idx})
+      endif()
+    endforeach()
+    if(e16_speedup_col EQUAL -1)
+      message(FATAL_ERROR "collect_bench: E16 table 0 lacks the 'speedup' column")
+    endif()
+    string(JSON e16_rows LENGTH "${payload}" "tables" 0 "rows")
+    if(e16_rows LESS 1)
+      message(FATAL_ERROR "collect_bench: E16 oracle-vs-Dijkstra table is empty")
+    endif()
+    math(EXPR e16_last_row "${e16_rows} - 1")
+    if(e16_quick STREQUAL "yes")
+      message(WARNING "collect_bench: E16 is a quick-mode artifact (query counts too small "
+        "for a stable ratio) — skipping the oracle speedup gates")
+    else()
+      # Full mode: >= 10x at n=2048, >= 100x at n=100000 (when the row ran).
+      foreach(row_idx RANGE ${e16_last_row})
+        string(JSON row_n GET "${payload}" "tables" 0 "rows" ${row_idx} 0)
+        string(JSON speedup_cell GET "${payload}" "tables" 0 "rows" ${row_idx} ${e16_speedup_col})
+        to_micro(speedup_us "${speedup_cell}")
+        if(row_n EQUAL 2048 AND speedup_us LESS 10000000)
+          message(FATAL_ERROR "collect_bench: E16 oracle speedup at n=2048 is ${speedup_cell}x "
+            "— expected >= 10x over per-query Dijkstra")
+        endif()
+        if(row_n EQUAL 100000 AND speedup_us LESS 100000000)
+          message(FATAL_ERROR "collect_bench: E16 oracle speedup at n=100000 is "
+            "${speedup_cell}x — expected >= 100x over per-query Dijkstra")
+        endif()
+      endforeach()
+      message(STATUS "collect_bench: E16 oracle speedup gates passed (${e16_rows} rows)")
+    endif()
+    # The concurrent-serving table: identified by its 'p99 us' column; every
+    # row needs a positive qps and a p99 (bounded tail latency is the claim,
+    # so the field must at least exist and parse).
+    string(JSON e16_tables LENGTH "${payload}" "tables")
+    math(EXPR e16_last_table "${e16_tables} - 1")
+    set(e16_churn_tbl -1)
+    foreach(t_idx RANGE ${e16_last_table})
+      string(JSON ct_cols LENGTH "${payload}" "tables" ${t_idx} "columns")
+      math(EXPR ct_last_col "${ct_cols} - 1")
+      set(qps_col -1)
+      set(p99_col -1)
+      foreach(col_idx RANGE ${ct_last_col})
+        string(JSON col GET "${payload}" "tables" ${t_idx} "columns" ${col_idx})
+        if(col STREQUAL "qps")
+          set(qps_col ${col_idx})
+        elseif(col STREQUAL "p99 us")
+          set(p99_col ${col_idx})
+        endif()
+      endforeach()
+      if(p99_col EQUAL -1 OR qps_col EQUAL -1)
+        continue()
+      endif()
+      set(e16_churn_tbl ${t_idx})
+      string(JSON ct_rows LENGTH "${payload}" "tables" ${t_idx} "rows")
+      if(ct_rows LESS 1)
+        message(FATAL_ERROR "collect_bench: E16 concurrent-serving table is empty")
+      endif()
+      math(EXPR ct_last_row "${ct_rows} - 1")
+      foreach(row_idx RANGE ${ct_last_row})
+        string(JSON qps_cell GET "${payload}" "tables" ${t_idx} "rows" ${row_idx} ${qps_col})
+        string(JSON p99_cell GET "${payload}" "tables" ${t_idx} "rows" ${row_idx} ${p99_col})
+        to_micro(qps_us "${qps_cell}")
+        to_micro(ignored "${p99_cell}")
+        if(qps_us LESS 1)
+          message(FATAL_ERROR "collect_bench: E16 concurrent row ${row_idx} has non-positive "
+            "qps '${qps_cell}'")
+        endif()
+      endforeach()
+      message(STATUS "collect_bench: E16 concurrent-serving table valid (${ct_rows} rows)")
+    endforeach()
+    if(e16_churn_tbl EQUAL -1)
+      message(FATAL_ERROR "collect_bench: E16 lacks the concurrent-serving table "
+        "(no table with 'qps' and 'p99 us' columns)")
+    endif()
+  endif()
   string(STRIP "${payload}" payload)
   if(count GREATER 0)
     string(APPEND payloads ",\n")

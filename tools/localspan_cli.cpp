@@ -1,4 +1,5 @@
-/// localspan command-line tool: generate, span, verify, route, trace, churn.
+/// localspan command-line tool: generate, span, verify, route, trace, churn,
+/// and query serving.
 ///
 ///   localspan_cli gen  --n 512 --alpha 0.75 --dim 2 --seed 7 --out net.lsi
 ///   localspan_cli span --in net.lsi --eps 0.5 --algo relaxed [--opt k=9 ...]
@@ -9,6 +10,7 @@
 ///   localspan_cli trace --in net.lsi --model poisson --events 64 --out churn.json
 ///   localspan_cli dynamic --in net.lsi --churn churn.json --eps 0.5
 ///   localspan_cli dynamic --batch --threads 4 --trace out.json --obs-json stats.json
+///   localspan_cli serve --readers 4 --queries 5000 --eps 0.5 --obs-json stats.json
 ///
 /// Every construction goes through the api::AlgorithmRegistry — `--algo`
 /// picks any registered algorithm, `--opt key=value` (repeatable) passes
@@ -22,14 +24,19 @@
 /// `--in` generates a demo instance (and with no `--churn` a demo poisson
 /// trace), so the observability pipeline can be exercised with no files.
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <map>
+#include <optional>
+#include <random>
 #include <set>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/spanner_algorithm.hpp"
@@ -41,6 +48,8 @@
 #include "io/trace_io.hpp"
 #include "obs/obs.hpp"
 #include "route/routing.hpp"
+#include "runtime/parallel.hpp"
+#include "serve/query_engine.hpp"
 #include "ubg/generator.hpp"
 
 using namespace localspan;
@@ -146,7 +155,7 @@ std::set<std::string> with_build_flags(std::set<std::string> extra) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: localspan_cli <gen|span|verify|route|trace|dynamic> [--flags]\n"
+               "usage: localspan_cli <gen|span|verify|route|trace|dynamic|serve> [--flags]\n"
                "  gen     --n N --alpha A --dim D --seed S [--placement uniform|clustered|corridor]\n"
                "          [--policy always|never|prob|threshold] [--p P] --out FILE\n"
                "  span    --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--strict]\n"
@@ -163,7 +172,13 @@ int usage() {
                "          (--batch ingests N-event windows via apply_batch, N defaults to 64;\n"
                "          --threads T repairs disjoint regions of a window in parallel; with no\n"
                "          --in/--churn a demo instance of --n nodes and --events churn events runs)\n"
-               "observability (span/verify/route/dynamic): --obs-json FILE writes the metrics\n"
+               "  serve   [--in FILE] [--churn FILE] --eps E [--strict] [--check off|local|full]\n"
+               "          [--batch N] [--readers R] [--queries Q] [--threads N] [--quiet]\n"
+               "          [--n N] [--events K] [--seed S]\n"
+               "          (R reader threads serve distance/route queries from epoch-published\n"
+               "          snapshots while churn windows repair and republish; same demo-mode\n"
+               "          defaults as dynamic)\n"
+               "observability (span/verify/route/dynamic/serve): --obs-json FILE writes the metrics\n"
                "  snapshot, --trace FILE writes a Chrome/Perfetto trace; either flag enables obs\n"
                "run 'localspan_cli span --algo list' to enumerate registered algorithms\n");
   return 1;
@@ -203,11 +218,14 @@ void print_algorithm_list() {
 /// Resolve --algo/--strict/--distributed/--opt into one registry build.
 /// `command_uses_seed` is set by commands that consume --seed themselves
 /// (route seeds its trials), so the flag is only a no-op — and rejected —
-/// when neither the command nor the algorithm reads it. Commands that
-/// discard the quality metrics (verify, route) pass measure=false to skip
-/// the superlinear measurement pass.
+/// when neither the command nor the algorithm reads it; `command_uses_threads`
+/// likewise for commands with their own query-side pool (route's trial
+/// evaluation), where --threads is meaningful even if the construction
+/// algorithm is serial. Commands that discard the quality metrics (verify,
+/// route) pass measure=false to skip the superlinear measurement pass.
 api::BuildResult build_topology(const ubg::UbgInstance& inst, const Args& args,
-                                bool command_uses_seed = false, bool measure = true) {
+                                bool command_uses_seed = false, bool measure = true,
+                                bool command_uses_threads = false) {
   std::string algo = args.get("algo", "relaxed");
   if (args.has("distributed")) {
     if (args.has("algo") && algo != "relaxed-dist") {
@@ -241,11 +259,11 @@ api::BuildResult build_topology(const ubg::UbgInstance& inst, const Args& args,
     const bool supported = std::any_of(schema.begin(), schema.end(), [](const api::OptionSpec& s) {
       return s.key == "threads";
     });
-    if (!supported) {
+    if (!supported && !command_uses_threads) {
       throw std::invalid_argument("--threads has no effect: algorithm '" + algo +
                                   "' has no parallel construction path");
     }
-    if (!opts.has("threads")) opts.set("threads", args.get("threads", "0"));
+    if (supported && !opts.has("threads")) opts.set("threads", args.get("threads", "0"));
   }
   return api::registry().build(algo, api::BuildRequest{inst, params, std::move(opts)}, measure);
 }
@@ -365,13 +383,23 @@ int cmd_route(const Args& args) {
     return 1;
   }
   const api::BuildResult result =
-      build_topology(inst, args, /*command_uses_seed=*/true, /*measure=*/false);
+      build_topology(inst, args, /*command_uses_seed=*/true, /*measure=*/false,
+                     /*command_uses_threads=*/true);
   const int trials = args.get_int("trials", 200);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  // One warmed workspace (and optional pool) shared by both topologies: the
+  // second evaluation reuses the first one's buffers, and a pool parallelizes
+  // the per-trial Dijkstras without changing the accepted-trial sequence.
+  graph::DijkstraWorkspace ws(inst.g.n());
+  const int threads = runtime::resolve_threads(args.get_int("threads", 0));
+  std::optional<runtime::WorkerPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  graph::CsrView csr;
   for (const auto& [name, topo] : {std::pair<const char*, const graph::Graph*>{"max power", &inst.g},
                                    {"spanner", &result.spanner}}) {
-    const route::RoutingStats st =
-        route::evaluate_routing(inst, *topo, route::Forwarding::kGreedy, trials, seed);
+    csr.assign(*topo);
+    const route::RoutingStats st = route::evaluate_routing(
+        inst, csr, route::Forwarding::kGreedy, trials, seed, ws, pool ? &*pool : nullptr);
     std::printf("%-10s greedy routing: delivery %.1f%%, mean stretch %.3f, mean hops %.1f\n",
                 name, 100.0 * st.delivery_rate, st.mean_route_stretch, st.mean_hops);
   }
@@ -618,6 +646,250 @@ int cmd_dynamic(const Args& args) {
   return rep.ok() ? 0 : 1;
 }
 
+/// `serve`: the end-to-end query-serving demo (experiment E16). A writer
+/// thread ingests churn windows through the dynamic engine, whose commit
+/// hook republishes an immutable snapshot (frozen CSR + routing oracle)
+/// after every window; R reader threads hammer distance/route queries
+/// against whichever snapshot is current while the writer repairs the next
+/// one. Exit code checks the served answers against exact Dijkstra on the
+/// final snapshot: every estimate must be >= the true distance and within
+/// the oracle's declared stretch bound.
+int cmd_serve(const Args& args) {
+  args.require_known("serve", {"in", "churn", "eps", "strict", "check", "n", "events", "seed",
+                               "batch", "readers", "queries", "threads", "quiet", "obs-json",
+                               "trace"});
+  obs_enable_if_requested(args);
+
+  // Demo mode mirrors `dynamic`: no --in generates an instance, no --churn a
+  // poisson trace, so `localspan_cli serve` runs the whole pipeline bare.
+  ubg::UbgInstance inst;
+  if (args.has("in")) {
+    inst = load(args);
+  } else {
+    ubg::UbgConfig cfg;
+    cfg.n = args.get_int("n", 2048);
+    cfg.alpha = 0.75;
+    cfg.dim = 2;
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    inst = ubg::make_ubg(cfg, *ubg::always_connect());
+    std::printf("demo instance: n=%d, m=%d (no --in given)\n", inst.g.n(), inst.g.m());
+  }
+  dynamic::ChurnTrace trace;
+  const std::string churn_path = args.get("churn", "");
+  if (!churn_path.empty()) {
+    trace = io::load_trace(churn_path);
+  } else {
+    dynamic::PoissonChurnConfig cfg;
+    cfg.events = args.get_int("events", 256);
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    trace = dynamic::poisson_churn(inst, cfg);
+    std::printf("demo churn: %zu poisson events (no --churn given)\n", trace.events.size());
+  }
+  const std::string invalid = dynamic::validate_trace(trace, inst);
+  if (!invalid.empty()) {
+    std::fprintf(stderr, "serve: invalid trace: %s\n", invalid.c_str());
+    return 1;
+  }
+
+  const double eps = args.get_double("eps", 0.5);
+  const double alpha = inst.config.alpha;
+  const core::Params params = args.has("strict") ? core::Params::strict_params(eps, alpha)
+                                                 : core::Params::practical_params(eps, alpha);
+  dynamic::DynamicOptions dopts;
+  const std::string check = args.get("check", "local");
+  if (check == "off") dopts.check = dynamic::CheckLevel::kOff;
+  else if (check == "full") dopts.check = dynamic::CheckLevel::kFull;
+  else if (check == "local") dopts.check = dynamic::CheckLevel::kLocal;
+  else throw std::runtime_error("serve: --check must be off|local|full");
+  dopts.threads = args.get_int("threads", 0);
+  int batch = args.get_int("batch", 64);
+  if (batch < 1) throw std::runtime_error("serve: --batch must be >= 1");
+  const int readers = args.get_int("readers", 2);
+  if (readers < 1) throw std::runtime_error("serve: --readers must be >= 1");
+  const int queries = args.get_int("queries", 2000);
+  if (queries < 1) throw std::runtime_error("serve: --queries must be >= 1");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const bool quiet = args.has("quiet");
+  const int n0 = inst.g.n();
+  if (n0 < 2) throw std::runtime_error("serve: need at least 2 nodes");
+
+  dynamic::DynamicSpanner engine(std::move(inst), params, dopts);
+  serve::ServeOptions sopts;
+  sopts.threads = args.get_int("threads", 0);
+  serve::QueryEngine qe(sopts);
+  qe.attach(engine);              // republish on every window commit...
+  const std::uint64_t epoch0 = qe.publish(engine);  // ...and once for the initial build.
+  {
+    serve::QueryEngine::Reader r0 = qe.reader();
+    const serve::SnapshotStore::ReadGuard g0 = r0.pin();
+    std::printf(
+        "serving: n=%d, %d spanner edges, oracle %d levels (%lld label entries, bound %.2f%s)\n",
+        engine.active_count(), engine.spanner().m(), g0->oracle.levels(),
+        static_cast<long long>(g0->oracle.total_label_entries()), g0->oracle.stretch_bound(),
+        g0->oracle.truncated() ? ", truncated" : "");
+  }
+
+  // Reader threads: each owns a Reader (slot + private workspace) and a
+  // private latency log; results merge after the join so the hot loop has
+  // no shared state at all.
+  struct ReaderReport {
+    std::vector<std::int64_t> lat_ns;
+    long long oracle_answered = 0;
+    long long exact_answered = 0;
+    long long routed = 0;
+    long long unreachable = 0;
+    double seconds = 0.0;
+    std::exception_ptr error;
+  };
+  std::vector<ReaderReport> reports(static_cast<std::size_t>(readers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(readers));
+  for (int k = 0; k < readers; ++k) {
+    threads.emplace_back([&qe, &reports, k, n0, queries, seed] {
+      ReaderReport& rep = reports[static_cast<std::size_t>(k)];
+      try {
+        const std::string label = "reader-" + std::to_string(k);
+        obs::set_thread_label(label.c_str());
+        serve::QueryEngine::Reader reader = qe.reader();
+        std::mt19937_64 rng(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(k + 1)));
+        std::uniform_int_distribution<int> pick(0, n0 - 1);
+        rep.lat_ns.reserve(static_cast<std::size_t>(queries));
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int q = 0; q < queries; ++q) {
+          const int s = pick(rng);
+          int d = pick(rng);
+          if (s == d) d = (d + 1) % n0;
+          const auto q0 = std::chrono::steady_clock::now();
+          if (q % 8 == 7) {
+            const serve::QueryEngine::RouteAnswer a = reader.route(s, d);
+            ++rep.routed;
+            if (!a.reachable) ++rep.unreachable;
+          } else {
+            const serve::QueryEngine::DistanceAnswer a = reader.distance(s, d);
+            if (a.via_oracle) ++rep.oracle_answered;
+            else ++rep.exact_answered;
+            if (a.distance == graph::kInf) ++rep.unreachable;
+          }
+          rep.lat_ns.push_back(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                                   q0)
+                  .count());
+        }
+        rep.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      } catch (...) {
+        rep.error = std::current_exception();
+      }
+    });
+  }
+
+  // The writer: ingest churn windows while the readers run. Every
+  // apply_batch commit fires the hook and flips the published snapshot.
+  double churn_seconds = 0.0;
+  int windows = 0;
+  for (std::size_t i = 0; i < trace.events.size(); i += static_cast<std::size_t>(batch)) {
+    const std::size_t len =
+        std::min<std::size_t>(static_cast<std::size_t>(batch), trace.events.size() - i);
+    const dynamic::BatchStats st =
+        engine.apply_batch(std::span<const dynamic::ChurnEvent>(trace.events.data() + i, len));
+    churn_seconds += st.seconds;
+    ++windows;
+    if (!quiet) {
+      std::printf("window %-4d %3zu events -> epoch %llu (%zu retired pending)  %.2f ms\n",
+                  windows, len, static_cast<unsigned long long>(qe.store().current_epoch()),
+                  qe.store().retired_pending(), 1e3 * st.seconds);
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  for (const ReaderReport& rep : reports) {
+    if (rep.error) std::rethrow_exception(rep.error);
+  }
+
+  // Merge the per-thread latency logs for exact percentiles.
+  std::vector<std::int64_t> lat;
+  long long oracle_answered = 0;
+  long long exact_answered = 0;
+  long long routed = 0;
+  long long unreachable = 0;
+  double slowest = 0.0;
+  for (const ReaderReport& rep : reports) {
+    lat.insert(lat.end(), rep.lat_ns.begin(), rep.lat_ns.end());
+    oracle_answered += rep.oracle_answered;
+    exact_answered += rep.exact_answered;
+    routed += rep.routed;
+    unreachable += rep.unreachable;
+    slowest = std::max(slowest, rep.seconds);
+  }
+  std::sort(lat.begin(), lat.end());
+  const auto pct = [&lat](double p) {
+    if (lat.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(p * (static_cast<double>(lat.size()) - 1.0));
+    return static_cast<double>(lat[idx]) / 1e3;  // ns -> us
+  };
+  const double qps = slowest > 0.0 ? static_cast<double>(lat.size()) / slowest : 0.0;
+  std::printf(
+      "\n%d readers x %d queries against live churn (%zu events, %d windows, %.3f s repair):\n",
+      readers, queries, trace.events.size(), windows, churn_seconds);
+  std::printf("  %.0f queries/s, latency p50=%.1f us p99=%.1f us max=%.1f us\n", qps, pct(0.50),
+              pct(0.99), pct(1.0));
+  std::printf("  %lld oracle-answered, %lld exact-fallback, %lld routed, %lld unreachable\n",
+              oracle_answered, exact_answered, routed, unreachable);
+  std::printf("  epochs: %llu published (initial %llu), %zu retired pending, %llu reclaimed\n",
+              static_cast<unsigned long long>(qe.store().current_epoch()),
+              static_cast<unsigned long long>(epoch0), qe.store().retired_pending(),
+              static_cast<unsigned long long>(qe.store().reclaimed()));
+
+  // Exit-code audit: sample pairs on the final snapshot and check every
+  // served distance against the exact one (route() is exact by construction,
+  // so it doubles as the reference). The oracle may only overestimate, and
+  // only up to its declared bound.
+  serve::QueryEngine::Reader auditor = qe.reader();
+  double bound = 0.0;
+  bool bound_holds = false;
+  {
+    // Scoped pin: distance()/route() below pin per call, and a reader slot
+    // holds at most one guard at a time.
+    const serve::SnapshotStore::ReadGuard snap = auditor.pin();
+    bound = snap->oracle.stretch_bound();
+    bound_holds = !snap->oracle.truncated();
+  }
+  std::mt19937_64 rng(seed ^ 0xA5A5A5A5ULL);
+  std::uniform_int_distribution<int> pick(0, n0 - 1);
+  int audited = 0;
+  int violations = 0;
+  for (int i = 0; i < 256; ++i) {
+    const int s = pick(rng);
+    int d = pick(rng);
+    if (s == d) d = (d + 1) % n0;
+    const serve::QueryEngine::DistanceAnswer est = auditor.distance(s, d);
+    const serve::QueryEngine::RouteAnswer exact = auditor.route(s, d);
+    if (!exact.reachable) {
+      if (est.distance != graph::kInf) {
+        ++violations;
+        if (violations <= 5) {
+          std::fprintf(stderr, "audit violation: d(%d,%d) served %.6f but route unreachable\n", s,
+                       d, est.distance);
+        }
+      }
+      continue;
+    }
+    ++audited;
+    const bool too_small = est.distance < exact.distance - 1e-9 * std::max(1.0, exact.distance);
+    const bool too_big =
+        bound_holds && est.distance > bound * exact.distance + 1e-9 * std::max(1.0, exact.distance);
+    if (too_small || too_big) {
+      ++violations;
+      if (violations <= 5) {
+        std::fprintf(stderr, "audit violation: d(%d,%d) served %.6f, exact %.6f (bound %.2f)\n", s,
+                     d, est.distance, exact.distance, bound);
+      }
+    }
+  }
+  std::printf("final audit: %d pairs served within stretch bound %.2f -> %s\n", audited, bound,
+              violations == 0 ? "PASS" : "FAIL");
+  obs_write_outputs(args);
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -632,6 +904,7 @@ int main(int argc, char** argv) {
     if (cmd == "route") return cmd_route(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "dynamic") return cmd_dynamic(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
     return 1;
