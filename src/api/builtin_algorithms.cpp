@@ -102,19 +102,86 @@ class RelaxedAlgorithm final : public SpannerAlgorithm {
   }
 };
 
+/// Parse the `net` option family into core::NetOptions. Fault knobs are only
+/// meaningful on the async transport, so any of them under net=sync is a
+/// hard error (the no-effect rejection policy every CLI surface follows).
+[[nodiscard]] core::NetOptions distributed_net_options(const BuildRequest& req) {
+  core::NetOptions net;
+  const std::string mode = req.options.get_string("net", "sync");
+  if (mode == "sync") {
+    net.mode = core::NetMode::kSync;
+  } else if (mode == "async") {
+    net.mode = core::NetMode::kAsync;
+  } else {
+    throw std::invalid_argument("relaxed-dist: option net must be 'sync' or 'async', got '" +
+                                mode + "'");
+  }
+  if (net.mode == core::NetMode::kSync) {
+    for (const char* knob : {"loss", "dup", "reorder", "straggle", "partition", "net-seed",
+                             "retries", "net-transcript"}) {
+      if (req.options.has(knob)) {
+        throw std::invalid_argument(std::string("relaxed-dist: option ") + knob +
+                                    " has no effect under net=sync (pass net=async)");
+      }
+    }
+    return net;
+  }
+  runtime::AdversaryConfig& adv = net.adversary;
+  adv.seed = static_cast<std::uint64_t>(req.options.get_int("net-seed", 1));
+  adv.drop_prob = req.options.get_double("loss", 0.0);
+  adv.dup_prob = req.options.get_double("dup", 0.0);
+  adv.reorder_prob = req.options.get_double("reorder", 0.0);
+  adv.straggler_fraction = req.options.get_double("straggle", 0.0);
+  const std::string part = req.options.get_string("partition", "");
+  if (!part.empty()) {
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument(
+          "relaxed-dist: option partition must be 'START:HEAL' virtual times "
+          "(HEAL <= START means the cut never heals)");
+    }
+    runtime::AdversaryConfig::Partition p;
+    p.start = parse_double("option partition (start)", part.substr(0, colon));
+    p.heal = parse_double("option partition (heal)", part.substr(colon + 1));
+    p.side_seed = adv.seed;
+    adv.partitions.push_back(p);
+  }
+  net.reliable.max_attempts = req.options.get_int("retries", 24);
+  net.record_transcript = req.options.get_bool("net-transcript", false);
+  adv.validate();
+  net.reliable.validate();
+  return net;
+}
+
 class DistributedAlgorithm final : public SpannerAlgorithm {
  public:
   const AlgorithmInfo& info() const override {
     static const AlgorithmInfo kInfo{
         "relaxed-dist",
-        "distributed relaxed greedy on the synchronous message-passing simulator",
+        "distributed relaxed greedy on the message-passing simulator (sync or adversarial async)",
         "Damian-Pandit-Pemmaraju PODC'06 §3",
         [] {
           std::vector<OptionSpec> opts = kRelaxedOptionSchema;
           opts.push_back({"seed", OptionType::kInt, "1", "seed for the Luby MIS draws"});
+          opts.push_back({"net", OptionType::kString, "sync",
+                          "transport: sync (lockstep rounds) or async (adversarial event queue)"});
+          opts.push_back({"loss", OptionType::kDouble, "0", "async: per-transmission drop probability"});
+          opts.push_back({"dup", OptionType::kDouble, "0", "async: per-transmission duplication probability"});
+          opts.push_back({"reorder", OptionType::kDouble, "0",
+                          "async: probability of a heavy-tail reordering delay"});
+          opts.push_back({"straggle", OptionType::kDouble, "0",
+                          "async: fraction of nodes with 8x link latency"});
+          opts.push_back({"partition", OptionType::kString, "",
+                          "async: 'START:HEAL' timed partition (HEAL <= START never heals)"});
+          opts.push_back({"net-seed", OptionType::kInt, "1", "async: adversary seed"});
+          opts.push_back({"retries", OptionType::kInt, "24",
+                          "async: per-message retry budget before RetryBudgetExhausted"});
+          opts.push_back({"net-transcript", OptionType::kBool, "false",
+                          "async: record the per-delivery replay transcript"});
           return opts;
         }(),
-        {.dim2_only = false, .needs_k = false, .uses_params = true, .randomized = true},
+        {.dim2_only = false, .needs_k = false, .uses_params = true, .randomized = true,
+         .distributed = true},
         {}};
     return kInfo;
   }
@@ -126,7 +193,9 @@ class DistributedAlgorithm final : public SpannerAlgorithm {
   Construction construct(const BuildRequest& req) const override {
     const core::RelaxedGreedyOptions opts = relaxed_options(req);
     const auto seed = static_cast<std::uint64_t>(req.options.get_int("seed", 1));
-    core::DistributedResult r = core::distributed_relaxed_greedy(req.inst, req.params, opts, seed);
+    const core::NetOptions net = distributed_net_options(req);
+    core::DistributedResult r =
+        core::distributed_relaxed_greedy(req.inst, req.params, opts, seed, net);
     return {std::move(r.base.spanner), std::move(r.base.phases)};
   }
 };

@@ -97,6 +97,8 @@ struct Capabilities {
   bool needs_k = false;       ///< consumes a structural `k` option (cones / faults).
   bool uses_params = true;    ///< output depends on core::Params (t, θ, δ, ...).
   bool randomized = false;    ///< consumes a `seed` option (deterministic given it).
+  bool distributed = false;   ///< message-passing construction: accepts the
+                              ///< `net` option family (--net async, fault knobs).
 };
 
 /// The guarantees an algorithm declares for a concrete request. Zero /

@@ -30,8 +30,13 @@ std::function<double(double)> make_transform(const RelaxedGreedyOptions& opts) {
 }  // namespace
 
 DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const Params& params,
-                                             const RelaxedGreedyOptions& opts, std::uint64_t seed) {
+                                             const RelaxedGreedyOptions& opts, std::uint64_t seed,
+                                             const NetOptions& net_opts) {
   params.validate();
+  if (net_opts.mode == NetMode::kAsync) {
+    net_opts.adversary.validate();
+    net_opts.reliable.validate();
+  }
   if (std::abs(params.alpha - inst.config.alpha) > 1e-12) {
     throw std::invalid_argument("distributed_relaxed_greedy: params.alpha != instance alpha");
   }
@@ -82,6 +87,50 @@ DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const
 
   std::uint64_t phase_seed = seed;
 
+  // MIS transport: sync (SyncNetwork inside luby_mis) or the adversarial
+  // async runtime behind the reliable-delivery layer. Each invocation gets a
+  // fresh network over its derived graph J and its own adversary seed
+  // (hashed from the base seed and the invocation index), so a whole run
+  // replays deterministically while invocations stay decorrelated.
+  int async_invocation = 0;
+  AsyncNetSummary& async = result.net.async;
+  const auto run_mis = [&](const graph::Graph& j, mis::LubyStats* luby, const char* section) {
+    if (net_opts.mode == NetMode::kSync) {
+      return mis::luby_mis(j, ++phase_seed, luby, nullptr, section);
+    }
+    runtime::AdversaryConfig adv = net_opts.adversary;
+    adv.seed = adv.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(++async_invocation);
+    runtime::AsyncNetwork anet(j, adv);
+    anet.set_record_transcript(net_opts.record_transcript);
+    runtime::ReliableNetwork rnet(anet, net_opts.reliable, nullptr, section);
+    std::vector<int> out = mis::luby_mis_on(rnet, j, ++phase_seed, luby);
+
+    const runtime::AsyncStats& ps = anet.stats();
+    async.physical.posted += ps.posted;
+    async.physical.delivered += ps.delivered;
+    async.physical.dropped += ps.dropped;
+    async.physical.partition_dropped += ps.partition_dropped;
+    async.physical.duplicated += ps.duplicated;
+    async.physical.reordered += ps.reordered;
+    async.physical.straggled += ps.straggled;
+    async.physical.timers += ps.timers;
+    const runtime::ReliableStats& rs = rnet.stats();
+    async.protocol.data_sent += rs.data_sent;
+    async.protocol.retransmits += rs.retransmits;
+    async.protocol.timeouts += rs.timeouts;
+    async.protocol.acks_sent += rs.acks_sent;
+    async.protocol.acks_received += rs.acks_received;
+    async.protocol.stale_acks += rs.stale_acks;
+    async.protocol.dup_suppressed += rs.dup_suppressed;
+    async.convergence_time += anet.now();
+    ++async.invocations;
+    if (net_opts.record_transcript) {
+      async.transcript.insert(async.transcript.end(), anet.transcript().begin(),
+                              anet.transcript().end());
+    }
+    return out;
+  };
+
   for (int i = 1; i < static_cast<int>(bins.size()); ++i) {
     const auto& bin = bins[static_cast<std::size_t>(i)];
     if (bin.empty()) continue;
@@ -103,9 +152,7 @@ DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const
     // ---- (i) cluster cover (§3.2.1): gather + Luby MIS on J + attach.
     const long long k_ball = hops_for(params.delta * w_eucl, params.alpha);
     mis::LubyStats luby1;
-    const auto mis_fn = [&](const graph::Graph& j) {
-      return mis::luby_mis(j, ++phase_seed, &luby1, nullptr, "cover-mis");
-    };
+    const auto mis_fn = [&](const graph::Graph& j) { return run_mis(j, &luby1, "cover-mis"); };
     const cluster::ClusterCover cover = cluster::mis_cover(spanner, radius, mis_fn);
     st.clusters = static_cast<int>(cover.centers.size());
 
@@ -162,7 +209,7 @@ DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const
     if (opts.redundancy_removal && to_add.size() >= 2) {
       mis::LubyStats luby2;
       const auto mis_fn2 = [&](const graph::Graph& j) {
-        return mis::luby_mis(j, ++phase_seed, &luby2, nullptr, "redundancy-mis");
+        return run_mis(j, &luby2, "redundancy-mis");
       };
       const std::vector<int> removal =
           detail::redundant_edge_removal(cg.h, to_add, params.t1, mis_fn2);

@@ -22,9 +22,33 @@
 #include <cstdint>
 
 #include "core/relaxed_greedy.hpp"
+#include "runtime/async_network.hpp"
 #include "runtime/ledger.hpp"
+#include "runtime/reliable.hpp"
 
 namespace localspan::core {
+
+/// Transport selection for the message-passing phases (the Luby MIS
+/// invocations — every other phase is constant-hop gathers whose rounds are
+/// charged analytically to the ledger either way).
+enum class NetMode { kSync, kAsync };
+
+struct NetOptions {
+  NetMode mode = NetMode::kSync;
+  runtime::AdversaryConfig adversary;  ///< fault injection (async mode only).
+  runtime::ReliableConfig reliable;    ///< retransmission policy (async mode only).
+  bool record_transcript = false;      ///< keep per-delivery replay records.
+};
+
+/// Aggregated async-transport outcome across all MIS invocations of a run.
+/// Empty (all zeros) in sync mode.
+struct AsyncNetSummary {
+  runtime::AsyncStats physical;    ///< transport-level frame counters.
+  runtime::ReliableStats protocol; ///< delivery-protocol counters.
+  double convergence_time = 0.0;   ///< summed final virtual time per invocation.
+  int invocations = 0;             ///< MIS runs that used the async transport.
+  std::vector<runtime::DeliveryRecord> transcript;  ///< when recorded.
+};
 
 /// Round accounting of one phase (one processed bin).
 struct PhaseRounds {
@@ -50,6 +74,7 @@ struct DistributedStats {
   int mis_invocations = 0;
   int max_luby_iterations = 0;
   std::vector<PhaseRounds> per_phase;
+  AsyncNetSummary async;
 };
 
 struct DistributedResult {
@@ -62,9 +87,17 @@ struct DistributedResult {
 /// the Luby MIS draws). The output satisfies the same three properties as
 /// the sequential algorithm; it differs edge-wise because cluster centers
 /// come from an MIS rather than a sequential sweep.
+///
+/// With `net.mode == NetMode::kAsync` the MIS protocols run over the
+/// adversarial asynchronous transport behind the reliable-delivery layer;
+/// because that layer reconstructs exact round semantics, the spanner (and
+/// every round/message count) is bit-identical to the sync run for any
+/// adversary under which delivery succeeds. A partition that never heals
+/// surfaces as `runtime::RetryBudgetExhausted`.
 [[nodiscard]] DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst,
                                                            const Params& params,
                                                            const RelaxedGreedyOptions& opts = {},
-                                                           std::uint64_t seed = 1);
+                                                           std::uint64_t seed = 1,
+                                                           const NetOptions& net = {});
 
 }  // namespace localspan::core

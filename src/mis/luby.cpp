@@ -27,8 +27,13 @@ enum class State { kActive, kInMis, kOut };
 
 std::vector<int> luby_mis(const graph::Graph& g, std::uint64_t seed, LubyStats* stats,
                           runtime::RoundLedger* ledger, const std::string& section) {
-  const int n = g.n();
   runtime::SyncNetwork net(g, ledger, section);
+  return luby_mis_on(net, g, seed, stats);
+}
+
+std::vector<int> luby_mis_on(runtime::Network& net, const graph::Graph& g, std::uint64_t seed,
+                             LubyStats* stats) {
+  const int n = g.n();
   std::vector<State> state(static_cast<std::size_t>(n), State::kActive);
   std::vector<double> my_value(static_cast<std::size_t>(n), 0.0);
   int active = n;

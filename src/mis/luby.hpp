@@ -15,6 +15,7 @@
 #include "graph/graph.hpp"
 #include "mis/mis.hpp"
 #include "runtime/ledger.hpp"
+#include "runtime/network.hpp"
 
 namespace localspan::mis {
 
@@ -35,5 +36,14 @@ struct LubyStats {
                                         LubyStats* stats = nullptr,
                                         runtime::RoundLedger* ledger = nullptr,
                                         const std::string& section = "mis");
+
+/// Transport-generic Luby: the same protocol over any `runtime::Network`
+/// implementation. `net` must be freshly constructed over topology `g`.
+/// Because every decision depends only on round-boundary inbox contents and
+/// the deterministic (seed, iteration, node) value draws, the MIS is
+/// bit-identical across transports that deliver the same round semantics —
+/// the property `ReliableNetwork` provides over the adversarial simulator.
+[[nodiscard]] std::vector<int> luby_mis_on(runtime::Network& net, const graph::Graph& g,
+                                           std::uint64_t seed, LubyStats* stats = nullptr);
 
 }  // namespace localspan::mis

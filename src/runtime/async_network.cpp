@@ -1,0 +1,230 @@
+#include "runtime/async_network.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace localspan::runtime {
+
+namespace {
+
+/// splitmix64 finalizer — the same hashing idiom as mis/luby.cpp's
+/// node_value, so every draw is a pure function of (seed, counter, salt).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t h) {
+  // 53 mantissa bits -> uniform [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void check_prob(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("AdversaryConfig: ") + name +
+                                " must be a probability in [0, 1]");
+  }
+}
+
+void check_nonneg(double x, const char* name) {
+  if (!(x >= 0.0) || !std::isfinite(x)) {
+    throw std::invalid_argument(std::string("AdversaryConfig: ") + name +
+                                " must be finite and >= 0");
+  }
+}
+
+std::string fmt2(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", x);
+  return buf;
+}
+
+}  // namespace
+
+void AdversaryConfig::validate() const {
+  check_nonneg(base_latency, "base_latency");
+  check_nonneg(jitter, "jitter");
+  check_prob(drop_prob, "drop_prob");
+  check_prob(dup_prob, "dup_prob");
+  check_prob(reorder_prob, "reorder_prob");
+  check_nonneg(reorder_spread, "reorder_spread");
+  check_prob(straggler_fraction, "straggler_fraction");
+  if (!(straggler_factor >= 1.0) || !std::isfinite(straggler_factor)) {
+    throw std::invalid_argument("AdversaryConfig: straggler_factor must be finite and >= 1");
+  }
+  if (base_latency <= 0.0 && jitter <= 0.0) {
+    throw std::invalid_argument(
+        "AdversaryConfig: base_latency and jitter cannot both be zero "
+        "(zero-latency delivery collapses virtual time)");
+  }
+  for (const Partition& p : partitions) {
+    check_nonneg(p.start, "partition.start");
+    check_nonneg(p.heal, "partition.heal");
+  }
+}
+
+std::string AdversaryConfig::describe() const {
+  std::string s = "loss=" + fmt2(drop_prob) + " dup=" + fmt2(dup_prob) +
+                  " reorder=" + fmt2(reorder_prob) + " straggle=" + fmt2(straggler_fraction);
+  if (!partitions.empty()) s += " partition=" + std::to_string(partitions.size());
+  return s;
+}
+
+namespace {
+
+/// net.async.* observability: physical-transport view of the simulation.
+struct AsyncMetrics {
+  obs::MetricId posted = obs::counter_id("net.async.posted");
+  obs::MetricId delivered = obs::counter_id("net.async.delivered");
+  obs::MetricId dropped = obs::counter_id("net.async.dropped");
+  obs::MetricId partition_dropped = obs::counter_id("net.async.partition_dropped");
+  obs::MetricId duplicated = obs::counter_id("net.async.duplicated");
+  obs::MetricId reordered = obs::counter_id("net.async.reordered");
+  obs::MetricId straggled = obs::counter_id("net.async.straggled");
+  obs::MetricId in_flight = obs::gauge_id("net.async.in_flight");
+  obs::MetricId latency = obs::histogram_id("net.async.delivery_latency_x1000");
+};
+
+const AsyncMetrics& async_metrics() {
+  static const AsyncMetrics m;
+  return m;
+}
+
+}  // namespace
+
+AsyncNetwork::AsyncNetwork(const graph::Graph& topo, AdversaryConfig cfg)
+    : topo_(topo), cfg_(std::move(cfg)) {
+  cfg_.validate();
+}
+
+double AsyncNetwork::draw(std::uint64_t salt) {
+  return to_unit(mix64(cfg_.seed ^ mix64(draw_counter_++ ^ mix64(salt))));
+}
+
+bool AsyncNetwork::is_straggler(int v) const {
+  if (cfg_.straggler_fraction <= 0.0) return false;
+  const std::uint64_t h = mix64(cfg_.seed ^ mix64(0x5742414cULL ^ static_cast<std::uint64_t>(v)));
+  return to_unit(h) < cfg_.straggler_fraction;
+}
+
+bool AsyncNetwork::partitioned(int a, int b, double t) const {
+  for (const AdversaryConfig::Partition& p : cfg_.partitions) {
+    const bool active = p.heal > p.start ? (t >= p.start && t < p.heal) : (t >= p.start);
+    if (!active) continue;
+    const auto side = [&](int v) {
+      return mix64(p.side_seed ^ mix64(0x50415254ULL ^ static_cast<std::uint64_t>(v))) & 1ULL;
+    };
+    if (side(a) != side(b)) return true;
+  }
+  return false;
+}
+
+void AsyncNetwork::enqueue_delivery(double latency, int from, int to, const Frame& f) {
+  AsyncEvent ev;
+  ev.time = now_ + latency;
+  ev.posted_at = now_;
+  ev.kind = AsyncEventKind::kDeliver;
+  ev.from = from;
+  ev.to = to;
+  ev.frame = f;
+  queue_.push(QueuedEvent{ev.time, order_++, ev});
+  if (obs::enabled()) {
+    obs::gauge_set(async_metrics().in_flight,
+                   static_cast<long long>(queue_.size()));
+  }
+}
+
+void AsyncNetwork::post(int from, int to, const Frame& f) {
+  const int n = topo_.n();
+  detail::check_vertex(n, from, "AsyncNetwork::post");
+  detail::check_vertex(n, to, "AsyncNetwork::post");
+  detail::check_packet(f.payload, "AsyncNetwork::post");
+  if (!topo_.has_edge(from, to)) {
+    throw std::invalid_argument("AsyncNetwork::post: recipients must be topology neighbors");
+  }
+
+  ++stats_.posted;
+  const bool obs_on = obs::enabled();
+  if (obs_on) obs::counter_add(async_metrics().posted, 1);
+
+  // The adversary decides the transmission's fate at post time, in a fixed
+  // draw order (partition, drop, latency, reorder, dup) so transcripts are
+  // reproducible bit-for-bit from (seed, post sequence).
+  if (partitioned(from, to, now_)) {
+    ++stats_.partition_dropped;
+    if (obs_on) obs::counter_add(async_metrics().partition_dropped, 1);
+    return;
+  }
+  if (cfg_.drop_prob > 0.0 && draw(0xD09ULL) < cfg_.drop_prob) {
+    ++stats_.dropped;
+    if (obs_on) obs::counter_add(async_metrics().dropped, 1);
+    return;
+  }
+
+  double latency = cfg_.base_latency + cfg_.jitter * draw(0x1A77ULL);
+  if (cfg_.reorder_prob > 0.0 && draw(0x0EDEULL) < cfg_.reorder_prob) {
+    latency += cfg_.reorder_spread * draw(0x0EDFULL);
+    ++stats_.reordered;
+    if (obs_on) obs::counter_add(async_metrics().reordered, 1);
+  }
+  if (is_straggler(from) || is_straggler(to)) {
+    latency *= cfg_.straggler_factor;
+    ++stats_.straggled;
+    if (obs_on) obs::counter_add(async_metrics().straggled, 1);
+  }
+  enqueue_delivery(latency, from, to, f);
+
+  if (cfg_.dup_prob > 0.0 && draw(0xD0BULL) < cfg_.dup_prob) {
+    // The duplicate takes an independent latency draw, so it may arrive
+    // before or after the original — both orderings must be handled.
+    double dup_latency = cfg_.base_latency + cfg_.jitter * draw(0xD0CULL);
+    if (is_straggler(from) || is_straggler(to)) dup_latency *= cfg_.straggler_factor;
+    ++stats_.duplicated;
+    if (obs_on) obs::counter_add(async_metrics().duplicated, 1);
+    enqueue_delivery(dup_latency, from, to, f);
+  }
+}
+
+void AsyncNetwork::schedule_timer(double delay, std::uint64_t cookie) {
+  if (!(delay >= 0.0) || !std::isfinite(delay)) {
+    throw std::invalid_argument("AsyncNetwork::schedule_timer: delay must be finite and >= 0");
+  }
+  AsyncEvent ev;
+  ev.time = now_ + delay;
+  ev.kind = AsyncEventKind::kTimer;
+  ev.cookie = cookie;
+  queue_.push(QueuedEvent{ev.time, order_++, ev});
+  ++stats_.timers;
+}
+
+bool AsyncNetwork::next(AsyncEvent& out) {
+  if (queue_.empty()) return false;
+  const QueuedEvent qe = queue_.top();
+  queue_.pop();
+  now_ = qe.time;
+  out = qe.event;
+  if (out.kind == AsyncEventKind::kDeliver) {
+    ++stats_.delivered;
+    if (obs::enabled()) {
+      const AsyncMetrics& m = async_metrics();
+      obs::counter_add(m.delivered, 1);
+      obs::gauge_set(m.in_flight, static_cast<long long>(queue_.size()));
+      // Histograms take integer samples; record latency in milli-units.
+      obs::histogram_record(m.latency,
+                            static_cast<long long>((out.time - out.posted_at) * 1000.0));
+    }
+    if (record_transcript_) {
+      transcript_.push_back(
+          DeliveryRecord{out.time, out.from, out.to, out.frame.type, out.frame.seq});
+    }
+  }
+  return true;
+}
+
+}  // namespace localspan::runtime

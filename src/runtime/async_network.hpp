@@ -1,0 +1,187 @@
+#pragma once
+/// \file async_network.hpp
+/// Adversarial asynchronous network: a discrete-event message simulator.
+///
+/// The LOCAL-model analysis of §1.1 assumes lockstep synchronous rounds; the
+/// regime that matters for real ad-hoc deployments is asynchrony with delay,
+/// loss and reordering (Koyuncu–Jafarkhani, "Asynchronous Local Construction
+/// of Bounded-Degree Network Topologies"). This simulator models that regime
+/// as a priority queue of timestamped events in virtual time: every physical
+/// transmission (`post`) is scheduled for delivery after an adversary-drawn
+/// latency, and a composable `AdversaryConfig` injects faults on the way —
+/// probabilistic drop, duplication, heavy-tail reorder delays, straggler
+/// nodes whose links are uniformly slow, and timed network partitions that
+/// heal.
+///
+/// Everything is **deterministic under seed**: every random draw is a
+/// counter-keyed splitmix64 hash of (seed, transmission index), and events
+/// are totally ordered by (virtual time, schedule order), so the same seed
+/// replays the exact same delivery transcript — the property the fault-matrix
+/// tests and `bench_e17_async` rely on. The simulator is transport only; the
+/// reliable-delivery protocol that reconstructs synchronous round semantics
+/// on top of it lives in reliable.hpp.
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/network.hpp"
+
+namespace localspan::runtime {
+
+/// Composable fault-injection configuration. All probabilities are per
+/// physical transmission; latencies are in virtual time units (one unit ~
+/// the LOCAL model's round length).
+struct AdversaryConfig {
+  std::uint64_t seed = 1;
+
+  double base_latency = 1.0;  ///< latency floor for every delivery.
+  double jitter = 0.5;        ///< uniform extra latency in [0, jitter).
+
+  double drop_prob = 0.0;  ///< P(transmission silently lost).
+  double dup_prob = 0.0;   ///< P(a second, independently delayed copy).
+
+  /// With probability reorder_prob a transmission draws an extra uniform
+  /// delay in [0, reorder_spread) — a heavy tail that overtakes later sends.
+  double reorder_prob = 0.0;
+  double reorder_spread = 4.0;
+
+  /// A seeded straggler_fraction of nodes have every incident transmission's
+  /// latency multiplied by straggler_factor.
+  double straggler_fraction = 0.0;
+  double straggler_factor = 8.0;
+
+  /// Transmissions posted while [start, heal) is active and the endpoints
+  /// hash to different sides are dropped. heal <= start means "never heals"
+  /// (a permanent cut — useful for exercising retry-budget exhaustion).
+  struct Partition {
+    double start = 0.0;
+    double heal = 0.0;
+    std::uint64_t side_seed = 1;
+  };
+  std::vector<Partition> partitions;
+
+  /// \throws std::invalid_argument naming the first out-of-domain knob
+  /// (probabilities outside [0,1], negative latencies/spreads, ...).
+  void validate() const;
+
+  /// Compact human-readable rendering for reports and bench tables, e.g.
+  /// "loss=0.20 dup=0.10 reorder=0.30 straggle=0.10 partition=1".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A physical frame: the reliable layer's protocol header (type + per-link
+/// sequence number) around the application payload. The simulator never
+/// interprets these fields; they exist so transcripts are self-describing.
+struct Frame {
+  int type = 0;
+  std::uint64_t seq = 0;
+  Packet payload;
+};
+
+enum class AsyncEventKind { kDeliver, kTimer };
+
+/// One dequeued event: a frame delivery or a protocol timer firing.
+struct AsyncEvent {
+  double time = 0.0;       ///< virtual delivery/fire time.
+  double posted_at = 0.0;  ///< virtual time the frame was posted (latency = time - posted_at).
+  AsyncEventKind kind = AsyncEventKind::kDeliver;
+  int from = -1;
+  int to = -1;
+  Frame frame;
+  std::uint64_t cookie = 0;  ///< timer owner token (opaque to the simulator).
+};
+
+/// Plain counters, maintained whether or not the obs layer is enabled (the
+/// obs `net.async.*` metrics mirror them when it is).
+struct AsyncStats {
+  long long posted = 0;             ///< post() calls (incl. retransmissions).
+  long long delivered = 0;          ///< frames handed to a receiver.
+  long long dropped = 0;            ///< random-loss drops.
+  long long partition_dropped = 0;  ///< drops from an active partition cut.
+  long long duplicated = 0;         ///< extra copies scheduled.
+  long long reordered = 0;          ///< heavy-tail delays drawn.
+  long long straggled = 0;          ///< latencies inflated by a straggler.
+  long long timers = 0;             ///< timer events scheduled.
+};
+
+/// One delivery, as recorded in the replay transcript.
+struct DeliveryRecord {
+  double time = 0.0;
+  int from = -1;
+  int to = -1;
+  int type = 0;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const DeliveryRecord&, const DeliveryRecord&) = default;
+};
+
+/// The discrete-event simulator. Single-threaded by design: determinism is
+/// the whole point, and the protocols above it are round-structured anyway.
+class AsyncNetwork {
+ public:
+  /// \param topo communication topology (must outlive the network).
+  /// \throws std::invalid_argument when cfg fails validation.
+  AsyncNetwork(const graph::Graph& topo, AdversaryConfig cfg);
+
+  /// Post a physical transmission at the current virtual time. The adversary
+  /// decides its fate immediately (drop / delay / duplicate); surviving
+  /// copies are enqueued for delivery.
+  /// \throws std::invalid_argument on out-of-range ids or a non-edge.
+  /// \throws std::domain_error on a non-finite payload value.
+  void post(int from, int to, const Frame& f);
+
+  /// Schedule a protocol timer `delay` after the current virtual time.
+  void schedule_timer(double delay, std::uint64_t cookie);
+
+  /// Pop the next event in (time, schedule-order) order into `out` and
+  /// advance the virtual clock. Returns false when the queue is empty.
+  bool next(AsyncEvent& out);
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] const graph::Graph& topology() const noexcept { return topo_; }
+  [[nodiscard]] const AdversaryConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const AsyncStats& stats() const noexcept { return stats_; }
+
+  /// Deterministic adversary state, exposed for tests and reports.
+  [[nodiscard]] bool is_straggler(int v) const;
+  [[nodiscard]] bool partitioned(int a, int b, double t) const;
+
+  /// Transcript recording (off by default): every delivery is appended so
+  /// deterministic replay can be asserted record-for-record.
+  void set_record_transcript(bool on) { record_transcript_ = on; }
+  [[nodiscard]] const std::vector<DeliveryRecord>& transcript() const noexcept {
+    return transcript_;
+  }
+
+ private:
+  struct QueuedEvent {
+    double time;
+    std::uint64_t order;  ///< monotone schedule counter: deterministic ties.
+    AsyncEvent event;
+  };
+  struct Later {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.order > b.order;
+    }
+  };
+
+  void enqueue_delivery(double latency, int from, int to, const Frame& f);
+  [[nodiscard]] double draw(std::uint64_t salt);  ///< uniform [0,1) from (seed, counter, salt).
+
+  const graph::Graph& topo_;
+  AdversaryConfig cfg_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t order_ = 0;
+  std::uint64_t draw_counter_ = 0;
+  AsyncStats stats_;
+  bool record_transcript_ = false;
+  std::vector<DeliveryRecord> transcript_;
+};
+
+}  // namespace localspan::runtime

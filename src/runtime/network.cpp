@@ -1,10 +1,29 @@
 #include "runtime/network.hpp"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "obs/obs.hpp"
 
 namespace localspan::runtime {
+
+namespace detail {
+
+void check_vertex(int n, int v, const char* who) {
+  if (v < 0 || v >= n) {
+    throw std::invalid_argument(std::string(who) + ": vertex id " + std::to_string(v) +
+                                " out of range [0, " + std::to_string(n) + ")");
+  }
+}
+
+void check_packet(const Packet& p, const char* who) {
+  if (!std::isfinite(p.value)) {
+    throw std::domain_error(std::string(who) + ": Packet::value must be finite");
+  }
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -31,6 +50,9 @@ SyncNetwork::SyncNetwork(const graph::Graph& topo, RoundLedger* ledger, std::str
       outbox_(static_cast<std::size_t>(topo.n())) {}
 
 void SyncNetwork::send(int from, int to, const Packet& p) {
+  detail::check_vertex(topo_.n(), from, "SyncNetwork::send");
+  detail::check_vertex(topo_.n(), to, "SyncNetwork::send");
+  detail::check_packet(p, "SyncNetwork::send");
   if (!topo_.has_edge(from, to)) {
     throw std::invalid_argument("SyncNetwork::send: recipients must be topology neighbors");
   }
@@ -38,6 +60,8 @@ void SyncNetwork::send(int from, int to, const Packet& p) {
 }
 
 void SyncNetwork::broadcast(int from, const Packet& p) {
+  detail::check_vertex(topo_.n(), from, "SyncNetwork::broadcast");
+  detail::check_packet(p, "SyncNetwork::broadcast");
   for (const graph::Neighbor& nb : topo_.neighbors(from)) {
     outbox_[static_cast<std::size_t>(nb.to)].emplace_back(from, p);
   }
@@ -63,9 +87,7 @@ void SyncNetwork::end_round() {
 }
 
 const std::vector<std::pair<int, Packet>>& SyncNetwork::inbox(int v) const {
-  if (v < 0 || v >= static_cast<int>(inbox_.size())) {
-    throw std::invalid_argument("SyncNetwork::inbox: vertex out of range");
-  }
+  detail::check_vertex(static_cast<int>(inbox_.size()), v, "SyncNetwork::inbox");
   return inbox_[static_cast<std::size_t>(v)];
 }
 

@@ -1,13 +1,25 @@
 #pragma once
 /// \file network.hpp
-/// A synchronous message-passing network simulator (the model of §1.1).
+/// Message-passing network runtimes (the model of §1.1).
 ///
-/// Nodes stage messages to neighbors during a round; `end_round()` delivers
-/// them simultaneously and charges the ledger. Only topology neighbors can
-/// talk — exactly the LOCAL-model constraint. Algorithms that run on derived
-/// graphs (the conflict graphs J of §3.2.1/§3.2.5, whose "edges" are
-/// constant-hop paths of G) instantiate a SyncNetwork over the derived
-/// topology and scale the charged rounds by the hop factor.
+/// `Network` is the round-structured transport interface every distributed
+/// protocol in the repo is written against: stage messages to topology
+/// neighbors, `end_round()` to make them visible, read them back via
+/// `inbox()`. Two implementations exist:
+///
+///   - `SyncNetwork` (this file): the lockstep synchronous simulator —
+///     `end_round()` delivers every staged message simultaneously and charges
+///     the ledger, exactly the LOCAL-model constraint of §1.1.
+///   - `runtime::ReliableNetwork` (reliable.hpp): the same round semantics
+///     reconstructed on top of the adversarial discrete-event simulator
+///     (async_network.hpp) via a per-link sequencing + ack/retry protocol, so
+///     protocols written for synchronous semantics run unmodified under
+///     message loss, duplication, reordering and partitions.
+///
+/// Only topology neighbors can talk. Algorithms that run on derived graphs
+/// (the conflict graphs J of §3.2.1/§3.2.5, whose "edges" are constant-hop
+/// paths of G) instantiate a network over the derived topology and scale the
+/// charged rounds by the hop factor.
 
 #include <utility>
 #include <vector>
@@ -25,28 +37,56 @@ struct Packet {
   int from_payload = 0;  ///< optional secondary field (ids etc.).
 };
 
-class SyncNetwork {
+namespace detail {
+/// Shared transport validation: vertex ids must index the topology and
+/// payload values must be finite (a NaN smuggled through a comparison-based
+/// protocol like Luby's poisons every decision downstream).
+/// \throws std::invalid_argument on an out-of-range id.
+void check_vertex(int n, int v, const char* who);
+/// \throws std::domain_error on a non-finite Packet::value.
+void check_packet(const Packet& p, const char* who);
+}  // namespace detail
+
+/// Round-structured message transport. Inbox contents become visible at the
+/// round boundary; within a round, every staged message is addressed to a
+/// topology neighbor of its sender.
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Stage a message for delivery at the end of this round.
+  /// \throws std::invalid_argument if an id is out of range or {from,to} is
+  ///         not an edge of the topology.
+  /// \throws std::domain_error if the packet value is non-finite.
+  virtual void send(int from, int to, const Packet& p) = 0;
+
+  /// Stage the same message to every neighbor of `from`.
+  virtual void broadcast(int from, const Packet& p) = 0;
+
+  /// Deliver all staged messages; increments the round counter.
+  virtual void end_round() = 0;
+
+  /// Messages delivered to v in the previous round, as (sender, packet).
+  [[nodiscard]] virtual const std::vector<std::pair<int, Packet>>& inbox(int v) const = 0;
+
+  [[nodiscard]] virtual long long rounds() const noexcept = 0;
+  [[nodiscard]] virtual long long messages() const noexcept = 0;
+};
+
+class SyncNetwork final : public Network {
  public:
   /// \param topo   communication topology (must outlive the network).
   /// \param ledger ledger charged one round per end_round(); may be null.
   /// \param section ledger section name for charges.
   SyncNetwork(const graph::Graph& topo, RoundLedger* ledger, std::string section);
 
-  /// Stage a message for delivery at the end of this round.
-  /// \throws std::invalid_argument if {from,to} is not an edge of the topology.
-  void send(int from, int to, const Packet& p);
+  void send(int from, int to, const Packet& p) override;
+  void broadcast(int from, const Packet& p) override;
+  void end_round() override;
+  [[nodiscard]] const std::vector<std::pair<int, Packet>>& inbox(int v) const override;
 
-  /// Stage the same message to every neighbor of `from`.
-  void broadcast(int from, const Packet& p);
-
-  /// Deliver all staged messages; increments the round counter.
-  void end_round();
-
-  /// Messages delivered to v in the previous round, as (sender, packet).
-  [[nodiscard]] const std::vector<std::pair<int, Packet>>& inbox(int v) const;
-
-  [[nodiscard]] long long rounds() const noexcept { return rounds_; }
-  [[nodiscard]] long long messages() const noexcept { return messages_; }
+  [[nodiscard]] long long rounds() const noexcept override { return rounds_; }
+  [[nodiscard]] long long messages() const noexcept override { return messages_; }
 
  private:
   const graph::Graph& topo_;

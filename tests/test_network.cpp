@@ -2,6 +2,8 @@
 // error paths, inbox lifecycle between rounds, and round/message accounting.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "graph/graph.hpp"
 #include "runtime/ledger.hpp"
 #include "runtime/network.hpp"
@@ -39,6 +41,46 @@ TEST(SyncNetwork, InboxOutOfRangeThrows) {
   rt::SyncNetwork net(g, nullptr, "test");
   EXPECT_THROW(static_cast<void>(net.inbox(-1)), std::invalid_argument);
   EXPECT_THROW(static_cast<void>(net.inbox(4)), std::invalid_argument);
+}
+
+TEST(SyncNetwork, SendOutOfRangeIdsThrow) {
+  const gr::Graph g = path4();
+  rt::SyncNetwork net(g, nullptr, "test");
+  EXPECT_THROW(net.send(-1, 1, {}), std::invalid_argument);
+  EXPECT_THROW(net.send(0, 4, {}), std::invalid_argument);
+  EXPECT_THROW(net.send(4, 0, {}), std::invalid_argument);
+  EXPECT_THROW(net.send(0, 1000000, {}), std::invalid_argument);
+  // Rejected before staging: nothing is delivered.
+  net.end_round();
+  EXPECT_EQ(net.messages(), 0);
+}
+
+TEST(SyncNetwork, BroadcastOutOfRangeIdThrows) {
+  const gr::Graph g = path4();
+  rt::SyncNetwork net(g, nullptr, "test");
+  EXPECT_THROW(net.broadcast(-1, {}), std::invalid_argument);
+  EXPECT_THROW(net.broadcast(4, {}), std::invalid_argument);
+  net.end_round();
+  EXPECT_EQ(net.messages(), 0);
+}
+
+TEST(SyncNetwork, NonFinitePacketValueThrows) {
+  const gr::Graph g = path4();
+  rt::SyncNetwork net(g, nullptr, "test");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // A NaN value smuggled through a comparison-based protocol (Luby's strict
+  // minimum) would poison every downstream decision — typed rejection.
+  EXPECT_THROW(net.send(0, 1, {1, nan, 0}), std::domain_error);
+  EXPECT_THROW(net.send(0, 1, {1, inf, 0}), std::domain_error);
+  EXPECT_THROW(net.send(0, 1, {1, -inf, 0}), std::domain_error);
+  EXPECT_THROW(net.broadcast(1, {1, nan, 0}), std::domain_error);
+  net.end_round();
+  EXPECT_EQ(net.messages(), 0);
+  // Finite values still pass.
+  net.send(0, 1, {1, 0.0, 0});
+  net.end_round();
+  EXPECT_EQ(net.messages(), 1);
 }
 
 TEST(SyncNetwork, DeliveryAndInboxClearingBetweenRounds) {

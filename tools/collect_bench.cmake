@@ -476,6 +476,69 @@ foreach(artifact IN LISTS artifacts)
         "(no table with 'qps' and 'p99 us' columns)")
     endif()
   endif()
+  # E17 is the adversarial-async-network bench: its fault-matrix table must
+  # carry the message-complexity ('transmissions') and convergence
+  # ('convergence vtime') columns, and the robustness claim must hold on
+  # every row — terminated=yes (the reliable protocol reached quiescence)
+  # and identical=yes (the spanner is bit-identical to the sync build).
+  if(id STREQUAL "E17")
+    string(JSON e17_cols LENGTH "${payload}" "tables" 0 "columns")
+    math(EXPR e17_last_col "${e17_cols} - 1")
+    set(e17_trans_col -1)
+    set(e17_conv_col -1)
+    set(e17_term_col -1)
+    set(e17_ident_col -1)
+    foreach(col_idx RANGE ${e17_last_col})
+      string(JSON col GET "${payload}" "tables" 0 "columns" ${col_idx})
+      if(col STREQUAL "transmissions")
+        set(e17_trans_col ${col_idx})
+      elseif(col STREQUAL "convergence vtime")
+        set(e17_conv_col ${col_idx})
+      elseif(col STREQUAL "terminated")
+        set(e17_term_col ${col_idx})
+      elseif(col STREQUAL "identical")
+        set(e17_ident_col ${col_idx})
+      endif()
+    endforeach()
+    if(e17_trans_col EQUAL -1 OR e17_conv_col EQUAL -1)
+      message(FATAL_ERROR "collect_bench: E17 table 0 lacks the 'transmissions'/"
+        "'convergence vtime' columns")
+    endif()
+    if(e17_term_col EQUAL -1 OR e17_ident_col EQUAL -1)
+      message(FATAL_ERROR "collect_bench: E17 table 0 lacks the 'terminated'/'identical' "
+        "verdict columns")
+    endif()
+    string(JSON e17_rows LENGTH "${payload}" "tables" 0 "rows")
+    if(e17_rows LESS 1)
+      message(FATAL_ERROR "collect_bench: E17 fault-matrix table is empty")
+    endif()
+    math(EXPR e17_last_row "${e17_rows} - 1")
+    foreach(row_idx RANGE ${e17_last_row})
+      string(JSON term_cell GET "${payload}" "tables" 0 "rows" ${row_idx} ${e17_term_col})
+      string(JSON ident_cell GET "${payload}" "tables" 0 "rows" ${row_idx} ${e17_ident_col})
+      string(JSON trans_cell GET "${payload}" "tables" 0 "rows" ${row_idx} ${e17_trans_col})
+      string(JSON conv_cell GET "${payload}" "tables" 0 "rows" ${row_idx} ${e17_conv_col})
+      if(NOT term_cell STREQUAL "yes")
+        message(FATAL_ERROR "collect_bench: E17 row ${row_idx} terminated='${term_cell}' — "
+          "the reliable protocol failed to reach quiescence under this adversary")
+      endif()
+      if(NOT ident_cell STREQUAL "yes")
+        message(FATAL_ERROR "collect_bench: E17 row ${row_idx} identical='${ident_cell}' — "
+          "the async spanner diverged from the synchronous build")
+      endif()
+      to_micro(trans_us "${trans_cell}")
+      if(trans_us LESS 1)
+        message(FATAL_ERROR "collect_bench: E17 row ${row_idx} has non-positive "
+          "'transmissions' '${trans_cell}'")
+      endif()
+      to_micro(conv_us "${conv_cell}")
+      if(conv_us LESS 1)
+        message(FATAL_ERROR "collect_bench: E17 row ${row_idx} has non-positive "
+          "'convergence vtime' '${conv_cell}'")
+      endif()
+    endforeach()
+    message(STATUS "collect_bench: E17 robustness verdicts hold on all ${e17_rows} rows")
+  endif()
   string(STRIP "${payload}" payload)
   if(count GREATER 0)
     string(APPEND payloads ",\n")

@@ -160,6 +160,10 @@ int usage() {
                "          [--policy always|never|prob|threshold] [--p P] --out FILE\n"
                "  span    --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--strict]\n"
                "          [--distributed] [--seed S] [--threads N] [--out-dot FILE] [--out-csv FILE]\n"
+               "          [--net sync|async] [--loss P] [--net-json FILE]\n"
+               "          (--net async runs distributed algorithms on the adversarial event-queue\n"
+               "          transport; fault knobs via --loss or --opt dup=/reorder=/straggle=/\n"
+               "          partition=START:HEAL/net-seed=/retries=; --net-json writes the fault report)\n"
                "  verify  --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--strict] [--threads N]\n"
                "  route   --in FILE --eps E [--algo NAME|list] [--opt k=v ...] [--trials T] [--seed S]\n"
                "  trace   --in FILE --model poisson|waypoint|failure --out FILE[.ctb]\n"
@@ -208,6 +212,7 @@ void print_algorithm_list() {
     if (info.caps.needs_k) caps += " needs-k";
     if (!info.caps.uses_params) caps += " ignores-params";
     if (info.caps.randomized) caps += " seeded";
+    if (info.caps.distributed) caps += " distributed";
     if (caps.empty()) caps = " -";
     std::printf("  %-12s %s\n", name.c_str(), info.summary.c_str());
     std::printf("  %-12s   options: %s | caps:%s | ref: %s\n", "", opts.c_str(), caps.c_str(),
@@ -250,6 +255,17 @@ api::BuildResult build_topology(const ubg::UbgInstance& inst, const Args& args,
   // Back-compat sugar: --seed feeds seeded algorithms unless --opt seed= given.
   if (args.has("seed") && !opts.has("seed") && caps.randomized) {
     opts.set("seed", args.get("seed", "1"));
+  }
+  // --net/--loss: sugar for --opt net=/loss=, only meaningful for
+  // message-passing constructions (the registry validates the values and
+  // rejects fault knobs under net=sync).
+  for (const char* flag : {"net", "loss"}) {
+    if (!args.has(flag)) continue;
+    if (!caps.distributed) {
+      throw std::invalid_argument(std::string("--") + flag + " has no effect: algorithm '" +
+                                  algo + "' is not distributed");
+    }
+    if (!opts.has(flag)) opts.set(flag, args.get(flag, ""));
   }
   // --threads N: sugar for --opt threads=N, rejected when the algorithm has
   // no parallel path (LOCALSPAN_THREADS remains the env default for
@@ -299,11 +315,74 @@ int cmd_gen(const Args& args) {
   return 0;
 }
 
+/// True when the request routes a distributed algorithm onto the async
+/// transport (via --net async or --opt net=async).
+bool net_async_requested(const Args& args) {
+  if (args.get("net", "") == "async") return true;
+  return api::Options::parse(args.get_all("opt")).get_string("net", "sync") == "async";
+}
+
+/// `--net-json FILE`: the adversarial-network fault report — the adversary
+/// knobs as requested plus every `net.*` metric the run recorded (physical
+/// frame counters, protocol retries/timeouts, the delivery-latency
+/// histogram). Built from the obs snapshot, so it works through the
+/// registry without widening BuildResult.
+void write_net_json(const Args& args, const std::string& path) {
+  const api::Options opts = api::Options::parse(args.get_all("opt"));
+  const auto knob = [&](const char* key, const char* flag, const std::string& dflt) {
+    return args.has(flag) ? args.get(flag, dflt) : opts.get_string(key, dflt);
+  };
+  const obs::Snapshot snap = obs::snapshot();
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  os << "{\n  \"command\": \"span\",\n  \"net\": \"async\",\n  \"adversary\": {\n";
+  os << "    \"loss\": " << knob("loss", "loss", "0") << ",\n";
+  os << "    \"dup\": " << opts.get_string("dup", "0") << ",\n";
+  os << "    \"reorder\": " << opts.get_string("reorder", "0") << ",\n";
+  os << "    \"straggle\": " << opts.get_string("straggle", "0") << ",\n";
+  os << "    \"partition\": \"" << opts.get_string("partition", "") << "\",\n";
+  os << "    \"net_seed\": " << opts.get_string("net-seed", "1") << ",\n";
+  os << "    \"retries\": " << opts.get_string("retries", "24") << "\n  },\n";
+  const auto is_net = [](const std::string& name) { return name.rfind("net.", 0) == 0; };
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!is_net(name)) continue;
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!is_net(name)) continue;
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!is_net(name)) continue;
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": " << h.count
+       << ", \"sum\": " << h.sum << ", \"max\": " << h.max << ", \"mean\": " << h.mean
+       << ", \"p50\": " << h.p50 << ", \"p90\": " << h.p90 << ", \"p99\": " << h.p99 << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  std::printf("wrote %s (adversarial-network fault report)\n", path.c_str());
+}
+
 int cmd_span(const Args& args) {
-  args.require_known("span", with_build_flags({"out-dot", "out-csv"}));
+  args.require_known("span", with_build_flags({"out-dot", "out-csv", "net", "loss", "net-json"}));
   if (args.get("algo", "") == "list") {
     print_algorithm_list();
     return 0;
+  }
+  if (args.has("net-json")) {
+    if (!net_async_requested(args)) {
+      throw std::invalid_argument(
+          "--net-json has no effect without --net async (there is no fault activity to report)");
+    }
+    obs::set_enabled(true);  // the report reads the net.* metrics.
   }
   obs_enable_if_requested(args);
   const ubg::UbgInstance inst = load(args);
@@ -323,6 +402,8 @@ int cmd_span(const Args& args) {
                 static_cast<long long>(pc.count), 1e3 * pc.seconds);
   }
   obs_write_outputs(args);
+  const std::string net_json = args.get("net-json", "");
+  if (!net_json.empty()) write_net_json(args, net_json);
   const std::string violation = api::check_guarantees(inst, result);
   if (!violation.empty()) {
     std::fprintf(stderr, "declared-guarantee violation: %s\n", violation.c_str());
