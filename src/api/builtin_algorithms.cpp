@@ -72,8 +72,8 @@ const std::vector<OptionSpec> kRelaxedOptionSchema{
 /// pipeline emits). Declared by every adapter that calls it directly;
 /// the distributed simulator runs its own pipeline and stays opaque.
 const std::vector<std::string> kRelaxedPhaseSchema{
-    "construct",        "rg.phase0",  "rg.cover",     "rg.filter",
-    "rg.cluster_graph", "rg.queries", "rg.redundancy"};
+    "construct", "rg.bins",          "rg.phase0",  "rg.cover",      "rg.filter",
+    "rg.select", "rg.cluster_graph", "rg.queries", "rg.redundancy"};
 
 class RelaxedAlgorithm final : public SpannerAlgorithm {
  public:
@@ -162,6 +162,7 @@ class DistributedAlgorithm final : public SpannerAlgorithm {
         "Damian-Pandit-Pemmaraju PODC'06 §3",
         [] {
           std::vector<OptionSpec> opts = kRelaxedOptionSchema;
+          opts.push_back(kThreadsSpec);
           opts.push_back({"seed", OptionType::kInt, "1", "seed for the Luby MIS draws"});
           opts.push_back({"net", OptionType::kString, "sync",
                           "transport: sync (lockstep rounds) or async (adversarial event queue)"});

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel.hpp"
+
 namespace localspan::core {
 
 BinSchema::BinSchema(double alpha, double r, int n) : alpha_(alpha), r_(r), w0_(alpha / n) {
@@ -31,15 +33,31 @@ int BinSchema::bin_of(double len) const {
 
 std::vector<std::vector<graph::Edge>> group_edges_by_bin(
     const std::vector<graph::Edge>& edges, const BinSchema& schema,
-    const std::vector<double>& euclidean_len) {
+    const std::vector<double>& euclidean_len, runtime::WorkerPool* pool) {
   if (edges.size() != euclidean_len.size()) {
     throw std::invalid_argument("group_edges_by_bin: length array mismatch");
   }
+  const int k = static_cast<int>(edges.size());
   std::vector<std::vector<graph::Edge>> bins(static_cast<std::size_t>(schema.max_bin()) + 1);
-  for (std::size_t k = 0; k < edges.size(); ++k) {
-    const int b = schema.bin_of(euclidean_len[k]);
-    if (b >= static_cast<int>(bins.size())) bins.resize(static_cast<std::size_t>(b) + 1);
-    bins[static_cast<std::size_t>(b)].push_back(edges[k]);
+  if (pool != nullptr && pool->threads() > 1 && k > 1) {
+    // Harvest: each edge's bin index is a pure function of (schema, length).
+    // Commit: push in edge order, so intra-bin order — which later phases
+    // observe — matches the serial path exactly.
+    std::vector<int> bin_index(static_cast<std::size_t>(k));
+    pool->for_each(0, k, [&](int, int i) {
+      bin_index[static_cast<std::size_t>(i)] = schema.bin_of(euclidean_len[static_cast<std::size_t>(i)]);
+    });
+    for (int i = 0; i < k; ++i) {
+      const int b = bin_index[static_cast<std::size_t>(i)];
+      if (b >= static_cast<int>(bins.size())) bins.resize(static_cast<std::size_t>(b) + 1);
+      bins[static_cast<std::size_t>(b)].push_back(edges[static_cast<std::size_t>(i)]);
+    }
+  } else {
+    for (int i = 0; i < k; ++i) {
+      const int b = schema.bin_of(euclidean_len[static_cast<std::size_t>(i)]);
+      if (b >= static_cast<int>(bins.size())) bins.resize(static_cast<std::size_t>(b) + 1);
+      bins[static_cast<std::size_t>(b)].push_back(edges[static_cast<std::size_t>(i)]);
+    }
   }
   return bins;
 }

@@ -9,6 +9,10 @@
 
 #include "graph/graph.hpp"
 
+namespace localspan::runtime {
+class WorkerPool;
+}
+
 namespace localspan::core {
 
 /// The bin schema for an n-node α-UBG with ratio r.
@@ -42,8 +46,12 @@ class BinSchema {
 /// paper bins by geometric length even when an alternative weight metric is
 /// in force, §1.6). Index = bin; empty bins stay empty and are skipped by
 /// the phase loop.
+///
+/// With a pool, the per-edge bin indices (pure functions of the schema) are
+/// harvested in parallel and the edges committed serially in edge order —
+/// bin contents are bit-identical at every thread count.
 [[nodiscard]] std::vector<std::vector<graph::Edge>> group_edges_by_bin(
     const std::vector<graph::Edge>& edges, const BinSchema& schema,
-    const std::vector<double>& euclidean_len);
+    const std::vector<double>& euclidean_len, runtime::WorkerPool* pool = nullptr);
 
 }  // namespace localspan::core

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "core/greedy.hpp"
 #include "graph/components.hpp"
 #include "graph/dijkstra.hpp"
+#include "graph/soa_points.hpp"
 #include "mis/luby.hpp"
+#include "runtime/parallel.hpp"
 
 namespace localspan::core {
 
@@ -49,6 +52,20 @@ DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const
   graph::Graph& spanner = result.base.spanner;
   runtime::RoundLedger& ledger = result.ledger;
 
+  // Worker team for the simulator's compute spine (binning, MIS, query
+  // selection/answering, redundancy balls). The round/message accounting is
+  // analytic, so parallel execution changes wall-clock only — every result,
+  // including the charged ledger, is bit-identical across thread counts.
+  std::optional<runtime::WorkerPool> run_pool;
+  runtime::WorkerPool* pool = opts.worker_pool;
+  if (pool == nullptr) {
+    const int threads = runtime::resolve_threads(opts.threads);
+    if (threads > 1) pool = &run_pool.emplace(threads);
+  }
+  graph::DijkstraWorkspace run_ws;
+  graph::DijkstraWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : run_ws;
+  const graph::SoaPoints pts(inst.points);
+
   const std::vector<graph::Edge> ge = inst.g.edges();
   std::vector<graph::Edge> weighted;
   std::vector<double> lens;
@@ -57,7 +74,7 @@ DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const
     lens.push_back(e.w);
   }
   const BinSchema schema(params.alpha, params.r, n);
-  const auto bins = group_edges_by_bin(weighted, schema, lens);
+  const auto bins = group_edges_by_bin(weighted, schema, lens, pool);
   result.base.total_bins = static_cast<int>(bins.size());
 
   // ---- Phase 0 (§3.1): every node learns its closed neighborhood topology
@@ -73,7 +90,9 @@ DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const
     graph::Graph g0(n);
     for (const graph::Edge& e : bins[0]) g0.add_edge(e.u, e.v, e.w);
     const graph::Components comps = graph::connected_components(g0);
-    const auto weight = [&](int u, int v) { return transform(std::max(inst.dist(u, v), 1e-12)); };
+    const auto weight = [&](int u, int v) {
+      return transform(std::max(pts.distance(u, v), 1e-12));
+    };
     for (const std::vector<int>& members : comps.groups()) {
       if (members.size() < 2) continue;
       ++result.base.phase0_components;
@@ -87,16 +106,18 @@ DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const
 
   std::uint64_t phase_seed = seed;
 
-  // MIS transport: sync (SyncNetwork inside luby_mis) or the adversarial
-  // async runtime behind the reliable-delivery layer. Each invocation gets a
-  // fresh network over its derived graph J and its own adversary seed
-  // (hashed from the base seed and the invocation index), so a whole run
-  // replays deterministically while invocations stay decorrelated.
+  // MIS transport: sync (the pool-parallel harvester, which reproduces the
+  // SyncNetwork's round/message accounting analytically and bit-identically
+  // — both consume mis::luby_priority) or the adversarial async runtime
+  // behind the reliable-delivery layer. Each invocation gets a fresh
+  // network over its derived graph J and its own adversary seed (hashed
+  // from the base seed and the invocation index), so a whole run replays
+  // deterministically while invocations stay decorrelated.
   int async_invocation = 0;
   AsyncNetSummary& async = result.net.async;
   const auto run_mis = [&](const graph::Graph& j, mis::LubyStats* luby, const char* section) {
     if (net_opts.mode == NetMode::kSync) {
-      return mis::luby_mis(j, ++phase_seed, luby, nullptr, section);
+      return mis::luby_mis_parallel(j, ++phase_seed, luby, pool, nullptr, section);
     }
     runtime::AdversaryConfig adv = net_opts.adversary;
     adv.seed = adv.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(++async_invocation);
@@ -167,22 +188,46 @@ DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const
     result.net.max_luby_iterations = std::max(result.net.max_luby_iterations, luby1.iterations);
 
     // ---- (ii) query edge selection (§3.2.2): heads gather 1 + 2δW/α hops.
+    // The θ-cone tests are pure per-edge functions of (pts, G'_{i-1}), so
+    // they harvest in parallel; candidates commit in bin order.
     std::vector<PhaseEdge> candidates;
-    for (const graph::Edge& e : bin) {
-      if (spanner.has_edge(e.u, e.v)) {
-        ++st.already_in_spanner;
-        continue;
-      }
-      const PhaseEdge pe{e.u, e.v, inst.dist(e.u, e.v), e.w};
-      if (opts.covered_edge_filter && detail::is_covered_edge(inst, spanner, pe, params.theta)) {
-        ++st.covered;
+    {
+      enum : char { kAlready, kCovered, kCandidate };
+      std::vector<char> status(bin.size(), kCandidate);
+      std::vector<double> elen(bin.size(), 0.0);
+      const auto classify = [&](int k) {
+        const graph::Edge& e = bin[static_cast<std::size_t>(k)];
+        if (spanner.has_edge(e.u, e.v)) {
+          status[static_cast<std::size_t>(k)] = kAlready;
+          return;
+        }
+        const double len = pts.distance(e.u, e.v);
+        elen[static_cast<std::size_t>(k)] = len;
+        if (opts.covered_edge_filter &&
+            detail::is_covered_edge(pts, inst.config.alpha, spanner, {e.u, e.v, len, e.w},
+                                    params.theta)) {
+          status[static_cast<std::size_t>(k)] = kCovered;
+        }
+      };
+      if (pool != nullptr && pool->threads() > 1) {
+        pool->for_each(0, static_cast<int>(bin.size()), [&](int, int k) { classify(k); });
       } else {
-        candidates.push_back(pe);
+        for (int k = 0; k < static_cast<int>(bin.size()); ++k) classify(k);
+      }
+      for (std::size_t k = 0; k < bin.size(); ++k) {
+        const graph::Edge& e = bin[k];
+        if (status[k] == kAlready) {
+          ++st.already_in_spanner;
+        } else if (status[k] == kCovered) {
+          ++st.covered;
+        } else {
+          candidates.push_back({e.u, e.v, elen[k], e.w});
+        }
       }
     }
     st.candidates = static_cast<int>(candidates.size());
-    const std::vector<PhaseEdge> queries =
-        detail::select_query_edges(candidates, cover, params.t, &st.max_query_edges_per_cluster);
+    const std::vector<PhaseEdge> queries = detail::select_query_edges(
+        candidates, cover, params.t, &st.max_query_edges_per_cluster, pool);
     st.queries = static_cast<int>(queries.size());
     pr.select = k_ball + 1;
     ledger.charge("select", pr.select, (k_ball + 1) * 2 * m_edges);
@@ -197,7 +242,7 @@ DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const
 
     // ---- (iv) query answering (§3.2.4): Theorem 9 constant-hop search.
     const std::vector<PhaseEdge> to_add =
-        detail::answer_queries(cg.h, queries, params.t, &st.max_query_hops);
+        detail::answer_queries(ws, cg.h, queries, params.t, &st.max_query_hops, pool);
     for (const PhaseEdge& e : to_add) spanner.add_edge(e.u, e.v, e.w);
     st.added = static_cast<int>(to_add.size());
     const long long k_q = hops_for(2.0 * params.delta + 1.0, params.alpha);
@@ -212,7 +257,7 @@ DistributedResult distributed_relaxed_greedy(const ubg::UbgInstance& inst, const
         return run_mis(j, &luby2, "redundancy-mis");
       };
       const std::vector<int> removal =
-          detail::redundant_edge_removal(cg.h, to_add, params.t1, mis_fn2);
+          detail::redundant_edge_removal(ws, cg.h, to_add, params.t1, mis_fn2, pool);
       for (int idx : removal) {
         const PhaseEdge& e = to_add[static_cast<std::size_t>(idx)];
         spanner.remove_edge(e.u, e.v);

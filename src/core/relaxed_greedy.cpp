@@ -9,6 +9,7 @@
 #include "core/greedy.hpp"
 #include "graph/components.hpp"
 #include "graph/dijkstra.hpp"
+#include "mis/luby.hpp"
 #include "mis/mis.hpp"
 #include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
@@ -39,28 +40,68 @@ bool is_covered_edge(const ubg::UbgInstance& inst, const graph::Graph& gp, const
   return test_side(e.u, e.v) || test_side(e.v, e.u);
 }
 
+bool is_covered_edge(const graph::SoaPoints& pts, double alpha, const graph::Graph& gp,
+                     const PhaseEdge& e, double theta) {
+  const auto test_side = [&](int u, int v) {
+    for (const graph::Neighbor& nb : gp.neighbors(u)) {
+      const int z = nb.to;
+      if (z == v) continue;
+      if (pts.distance(v, z) > alpha) continue;
+      const double duz = pts.distance(u, z);
+      if (duz == 0.0) continue;                    // degenerate ray
+      if (duz > pts.distance(u, v)) continue;      // Lemma 3 needs |uz| <= |uv|
+      if (pts.angle_at(u, v, z) <= theta) return true;
+    }
+    return false;
+  };
+  return test_side(e.u, e.v) || test_side(e.v, e.u);
+}
+
 std::vector<PhaseEdge> select_query_edges(const std::vector<PhaseEdge>& candidates,
                                           const cluster::ClusterCover& cover, double t,
-                                          int* per_cluster_max) {
+                                          int* per_cluster_max, runtime::WorkerPool* pool) {
   struct Best {
     double objective;
     PhaseEdge edge;
   };
-  std::map<std::pair<int, int>, Best> best_per_pair;
-  for (const PhaseEdge& e : candidates) {
+  // The winner per cluster pair is the lexicographic minimum by
+  // (objective, (u, v)) — a total order — so folding any partition of the
+  // candidates with this rule and merging with the same rule yields the
+  // same map regardless of chunk boundaries or fold order.
+  const auto fold = [&](std::map<std::pair<int, int>, Best>& acc, const PhaseEdge& e,
+                        double objective) {
     const int ca = cover.center_of[static_cast<std::size_t>(e.u)];
     const int cb = cover.center_of[static_cast<std::size_t>(e.v)];
     const auto key = std::minmax(ca, cb);
-    const double objective = t * e.w - cover.dist_to_center[static_cast<std::size_t>(e.u)] -
-                             cover.dist_to_center[static_cast<std::size_t>(e.v)];
-    auto it = best_per_pair.find(key);
-    if (it == best_per_pair.end()) {
-      best_per_pair.emplace(key, Best{objective, e});
+    auto it = acc.find(key);
+    if (it == acc.end()) {
+      acc.emplace(key, Best{objective, e});
     } else if (objective < it->second.objective ||
                (objective == it->second.objective &&
                 std::pair(e.u, e.v) < std::pair(it->second.edge.u, it->second.edge.v))) {
       it->second = Best{objective, e};
     }
+  };
+  const auto objective_of = [&](const PhaseEdge& e) {
+    return t * e.w - cover.dist_to_center[static_cast<std::size_t>(e.u)] -
+           cover.dist_to_center[static_cast<std::size_t>(e.v)];
+  };
+  std::map<std::pair<int, int>, Best> best_per_pair;
+  if (pool != nullptr && pool->threads() > 1 && candidates.size() > 1) {
+    // Harvest: one partial-minimum map per worker over its contiguous chunk
+    // (for_each chunks statically, so each worker folds sequentially into
+    // its own slot). Commit: merge the partials in worker order.
+    std::vector<std::map<std::pair<int, int>, Best>> partial(
+        static_cast<std::size_t>(pool->threads()));
+    pool->for_each(0, static_cast<int>(candidates.size()), [&](int worker, int i) {
+      const PhaseEdge& e = candidates[static_cast<std::size_t>(i)];
+      fold(partial[static_cast<std::size_t>(worker)], e, objective_of(e));
+    });
+    for (const auto& part : partial) {
+      for (const auto& [key, b] : part) fold(best_per_pair, b.edge, b.objective);
+    }
+  } else {
+    for (const PhaseEdge& e : candidates) fold(best_per_pair, e, objective_of(e));
   }
   std::vector<PhaseEdge> selected;
   selected.reserve(best_per_pair.size());
@@ -270,8 +311,10 @@ struct RgMetrics {
   obs::MetricId heap_pushes = obs::counter_id("rg.heap_pushes");
   obs::MetricId heap_pops = obs::counter_id("rg.heap_pops");
   obs::MetricId phase0 = obs::span_id("rg.phase0");
+  obs::MetricId bins_span = obs::span_id("rg.bins");
   obs::MetricId cover_span = obs::span_id("rg.cover");
   obs::MetricId filter_span = obs::span_id("rg.filter");
+  obs::MetricId select_span = obs::span_id("rg.select");
   obs::MetricId cluster_graph_span = obs::span_id("rg.cluster_graph");
   obs::MetricId queries_span = obs::span_id("rg.queries");
   obs::MetricId redundancy_span = obs::span_id("rg.redundancy");
@@ -304,47 +347,60 @@ std::function<double(double)> make_transform(const RelaxedGreedyOptions& opts) {
 }
 
 /// Phase 0 (§2.1): components of G_0 are cliques (Lemma 1); span each with
-/// SEQ-GREEDY and merge.
-PhaseStats process_short_edges(const ubg::UbgInstance& inst,
+/// SEQ-GREEDY and merge. Each component's chosen edge set is a pure function
+/// of (members, weights), so with a pool the per-component SEQ-GREEDY runs
+/// are harvested in parallel (dynamically scheduled — component sizes are
+/// skewed) and the spanner edges committed in component order, bit-identical
+/// to the serial path.
+PhaseStats process_short_edges(const ubg::UbgInstance& inst, const graph::SoaPoints& pts,
                                const std::vector<graph::Edge>& bin0,
                                const std::function<double(double)>& transform, const Params& params,
-                               int clique_cap, graph::Graph& spanner, int* component_count) {
+                               int clique_cap, graph::Graph& spanner, int* component_count,
+                               graph::DijkstraWorkspace& ws, runtime::WorkerPool* pool) {
   PhaseStats st;
   st.bin = 0;
   st.w_hi = params.alpha / inst.g.n();
   st.edges_in_bin = static_cast<int>(bin0.size());
   graph::Graph g0(inst.g.n());
   for (const graph::Edge& e : bin0) g0.add_edge(e.u, e.v, e.w);
-  const graph::Components comps = graph::connected_components(g0);
-  int nontrivial = 0;
-  const auto weight = [&](int u, int v) { return transform(std::max(inst.dist(u, v), 1e-12)); };
-  for (const std::vector<int>& members : comps.groups()) {
-    if (members.size() < 2) continue;
-    ++nontrivial;
-    std::vector<graph::Edge> chosen;
-    if (static_cast<int>(members.size()) <= clique_cap) {
-      chosen = seq_greedy_clique(members, weight, params.t);
-    } else {
-      // Safety valve for adversarially dense components: greedy over the
-      // component-internal UBG edges (a superset of spanner needs; see
-      // options doc). Edges leaving the component belong to later bins.
-      std::vector<char> in_comp(static_cast<std::size_t>(inst.g.n()), 0);
-      for (int u : members) in_comp[static_cast<std::size_t>(u)] = 1;
-      graph::Graph local(inst.g.n());
-      for (int u : members) {
-        for (const graph::Neighbor& nb : inst.g.neighbors(u)) {
-          if (u < nb.to && in_comp[static_cast<std::size_t>(nb.to)]) {
-            local.add_edge(u, nb.to, weight(u, nb.to));
-          }
-        }
-      }
-      chosen = seq_greedy(local, params.t).edges();
-    }
-    for (const graph::Edge& e : chosen) {
-      if (spanner.add_edge(e.u, e.v, e.w)) ++st.added;
-    }
+  const std::vector<std::vector<int>> groups = graph::connected_components(g0).groups();
+  const auto weight = [&](int u, int v) {
+    return transform(std::max(pts.distance(u, v), 1e-12));
+  };
+  std::vector<const std::vector<int>*> work;
+  for (const std::vector<int>& members : groups) {
+    if (members.size() >= 2) work.push_back(&members);
   }
-  if (component_count != nullptr) *component_count = nontrivial;
+  std::vector<std::vector<graph::Edge>> chosen(work.size());
+  runtime::scatter_commit(
+      pool, ws, static_cast<int>(work.size()),
+      [&](graph::DijkstraWorkspace&, int, int c) {
+        const std::vector<int>& members = *work[static_cast<std::size_t>(c)];
+        if (static_cast<int>(members.size()) <= clique_cap) {
+          chosen[static_cast<std::size_t>(c)] = seq_greedy_clique(members, weight, params.t);
+        } else {
+          // Safety valve for adversarially dense components: greedy over the
+          // component-internal UBG edges (a superset of spanner needs; see
+          // options doc). Edges leaving the component belong to later bins.
+          std::vector<char> in_comp(static_cast<std::size_t>(inst.g.n()), 0);
+          for (int u : members) in_comp[static_cast<std::size_t>(u)] = 1;
+          graph::Graph local(inst.g.n());
+          for (int u : members) {
+            for (const graph::Neighbor& nb : inst.g.neighbors(u)) {
+              if (u < nb.to && in_comp[static_cast<std::size_t>(nb.to)]) {
+                local.add_edge(u, nb.to, weight(u, nb.to));
+              }
+            }
+          }
+          chosen[static_cast<std::size_t>(c)] = seq_greedy(local, params.t).edges();
+        }
+      },
+      [&](int c) {
+        for (const graph::Edge& e : chosen[static_cast<std::size_t>(c)]) {
+          if (spanner.add_edge(e.u, e.v, e.w)) ++st.added;
+        }
+      });
+  if (component_count != nullptr) *component_count = static_cast<int>(work.size());
   return st;
 }
 
@@ -359,6 +415,27 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
   const int n = inst.g.n();
   const auto transform = make_transform(opts);
 
+  // Shortest-path scratch for the whole run: one workspace (caller-owned
+  // when opts.workspace is set, so repeated runs reuse the same buffers) and
+  // one CSR snapshot of G'_{i-1} per phase for the read-heavy cover/cluster
+  // passes. The geometry is snapshotted once into flat SoA coordinate lanes
+  // for the filter/classify loops (bit-identical kernels — see SoaPoints).
+  graph::DijkstraWorkspace run_ws;
+  graph::DijkstraWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : run_ws;
+  graph::CsrView csr;
+  const graph::SoaPoints pts(inst.points);
+
+  // Worker team for the embarrassingly parallel passes: the caller's pool
+  // when provided (long-lived engines), else a run-local pool when more than
+  // one thread is requested, else the serial path (pool == nullptr). Every
+  // result is bit-identical across thread counts — see RelaxedGreedyOptions.
+  std::optional<runtime::WorkerPool> run_pool;
+  runtime::WorkerPool* pool = opts.worker_pool;
+  if (pool == nullptr) {
+    const int threads = runtime::resolve_threads(opts.threads);
+    if (threads > 1) pool = &run_pool.emplace(threads);
+  }
+
   // Materialize edges with Euclidean lengths and active weights.
   const std::vector<graph::Edge> ge = inst.g.edges();
   std::vector<graph::Edge> weighted;
@@ -371,7 +448,10 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
   }
 
   const BinSchema schema(params.alpha, params.r, n);
-  const auto bins = group_edges_by_bin(weighted, schema, lens);
+  const auto bins = [&] {
+    const obs::Span span(rg_metrics().bins_span);
+    return group_edges_by_bin(weighted, schema, lens, pool);
+  }();
 
   RelaxedGreedyResult result{graph::Graph(n), params, {}, 0, 0,
                              static_cast<int>(bins.size())};
@@ -379,33 +459,22 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
   // Phase 0.
   {
     const obs::Span span(rg_metrics().phase0);
-    result.phases.push_back(process_short_edges(inst, bins[0], transform, params,
+    result.phases.push_back(process_short_edges(inst, pts, bins[0], transform, params,
                                                 opts.phase0_clique_cap, result.spanner,
-                                                &result.phase0_components));
+                                                &result.phase0_components, ws, pool));
     obs::counter_add(rg_metrics().edges_examined, result.phases.back().edges_in_bin);
     obs::counter_add(rg_metrics().edges_added, result.phases.back().added);
   }
 
-  const auto mis_fn = [](const graph::Graph& j) { return mis::greedy_mis(j); };
-
-  // Shortest-path scratch for the whole run: one workspace (caller-owned
-  // when opts.workspace is set, so repeated runs reuse the same buffers) and
-  // one CSR snapshot of G'_{i-1} per phase for the read-heavy cover/cluster
-  // passes.
-  graph::DijkstraWorkspace run_ws;
-  graph::DijkstraWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : run_ws;
-  graph::CsrView csr;
-
-  // Worker team for the embarrassingly parallel passes: the caller's pool
-  // when provided (long-lived engines), else a run-local pool when more than
-  // one thread is requested, else the serial path (pool == nullptr). Every
-  // result is bit-identical across thread counts — see RelaxedGreedyOptions.
-  std::optional<runtime::WorkerPool> run_pool;
-  runtime::WorkerPool* pool = opts.worker_pool;
-  if (pool == nullptr) {
-    const int threads = runtime::resolve_threads(opts.threads);
-    if (threads > 1) pool = &run_pool.emplace(threads);
-  }
+  // §2.2.5 symmetry breaking: the deterministic pool-parallel Luby MIS, so
+  // the redundancy pass — the last serial residue of the pipeline — runs on
+  // the same worker team as everything else. The seed is a fixed constant:
+  // the sequential algorithm is a deterministic function of the instance,
+  // and any MIS of the conflict graph preserves the §2.2.5 guarantees.
+  constexpr std::uint64_t kMisSeed = 0x10CA15FA2006ULL;
+  const auto mis_fn = [&](const graph::Graph& j) {
+    return mis::luby_mis_parallel(j, kMisSeed, nullptr, pool);
+  };
 
   // Phases i >= 1, skipping empty bins (recomputation is from G' alone, so
   // skipping is a pure optimization).
@@ -445,10 +514,11 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
           status[static_cast<std::size_t>(i)] = kAlready;
           return;
         }
-        const double len = inst.dist(e.u, e.v);
+        const double len = pts.distance(e.u, e.v);
         lens[static_cast<std::size_t>(i)] = len;
         if (opts.covered_edge_filter &&
-            detail::is_covered_edge(inst, result.spanner, {e.u, e.v, len, e.w}, params.theta)) {
+            detail::is_covered_edge(pts, inst.config.alpha, result.spanner, {e.u, e.v, len, e.w},
+                                    params.theta)) {
           status[static_cast<std::size_t>(i)] = kCovered;
         }
       };
@@ -472,8 +542,11 @@ RelaxedGreedyResult relaxed_greedy(const ubg::UbgInstance& inst, const Params& p
     }();
     st.candidates = static_cast<int>(candidates.size());
 
-    const std::vector<PhaseEdge> queries =
-        detail::select_query_edges(candidates, cover, params.t, &st.max_query_edges_per_cluster);
+    const std::vector<PhaseEdge> queries = [&] {
+      const obs::Span span(rg_metrics().select_span);
+      return detail::select_query_edges(candidates, cover, params.t,
+                                        &st.max_query_edges_per_cluster, pool);
+    }();
     st.queries = static_cast<int>(queries.size());
 
     // (iii) cluster graph of G'_{i-1} (same snapshot as the cover).

@@ -23,6 +23,7 @@
 #include "core/bins.hpp"
 #include "core/params.hpp"
 #include "graph/graph.hpp"
+#include "graph/soa_points.hpp"
 #include "ubg/generator.hpp"
 
 namespace localspan::runtime {
@@ -133,12 +134,26 @@ struct PhaseEdge {
 [[nodiscard]] bool is_covered_edge(const ubg::UbgInstance& inst, const graph::Graph& gp,
                                    const PhaseEdge& e, double theta);
 
+/// SoA overload of the θ-cone test for the hot filter loops: identical
+/// decisions (the SoaPoints kernels are bit-identical to geom::*), but the
+/// geometry streams from the flat coordinate lanes instead of one 72-byte
+/// Point per probe. `alpha` is the instance's UBG radius.
+[[nodiscard]] bool is_covered_edge(const graph::SoaPoints& pts, double alpha,
+                                   const graph::Graph& gp, const PhaseEdge& e, double theta);
+
 /// §2.2.2 part 2: keep one query edge per cluster pair, minimizing
 /// t·w(x,y) − sp(a,x) − sp(b,y). Returns selected edges; if `per_cluster_max`
 /// is non-null it receives the Lemma 4 quantity.
+///
+/// With a pool, each worker folds its contiguous candidate chunk into a
+/// private per-cluster-pair partial minimum and the chunks are merged
+/// serially. The winner per pair is the lexicographic minimum by
+/// (objective, (u, v)) — a total order — so chunk boundaries cannot change
+/// the outcome and the selection is bit-identical at every thread count.
 [[nodiscard]] std::vector<PhaseEdge> select_query_edges(const std::vector<PhaseEdge>& candidates,
                                                         const cluster::ClusterCover& cover,
-                                                        double t, int* per_cluster_max);
+                                                        double t, int* per_cluster_max,
+                                                        runtime::WorkerPool* pool = nullptr);
 
 /// §2.2.4: answer all queries on H; returns the edges to add (those with
 /// sp_H(x,y) > t·w(x,y)). Updates `max_hops` with the Lemma 8 quantity.

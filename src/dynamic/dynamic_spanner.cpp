@@ -354,22 +354,36 @@ void DynamicSpanner::repair(const std::vector<int>& touched, RepairStats* st,
 
   // Splice. Drop standing edges with both endpoints in the core (the local
   // result replaces them); keep everything crossing the boundary so distant
-  // witnesses survive; insert every locally chosen edge.
+  // witnesses survive; insert every locally chosen edge. Two-phase: the
+  // per-member drop lists only read the frozen pre-splice spanner (every
+  // core-internal edge {v, u}, v < u, is harvested at v, so removals at
+  // other members never change what a harvest would see), then the
+  // removals commit in ball order — bit-identical to the interleaved
+  // serial loop at every thread count, on the same engine team the local
+  // rerun used.
   {
     const obs::Span span(dyn_metrics().splice_span);
-    for (int v : ball) {
-      if (!in_core[static_cast<std::size_t>(v)]) continue;
-      std::vector<int> drop;
-      for (const graph::Neighbor& nb : spanner_.neighbors(v)) {
-        if (v < nb.to && in_core[static_cast<std::size_t>(nb.to)]) drop.push_back(nb.to);
-      }
-      for (int u : drop) {
-        spanner_.remove_edge(v, u);
-        ++st->spanner_edges_removed;
-        modified->push_back(v);
-        modified->push_back(u);
-      }
-    }
+    if (scratch_drop_.size() < ball.size()) scratch_drop_.resize(ball.size());
+    runtime::scatter_commit(
+        team(), ws_, static_cast<int>(ball.size()),
+        [&](graph::DijkstraWorkspace&, int, int i) {
+          const int v = ball[static_cast<std::size_t>(i)];
+          std::vector<int>& drop = scratch_drop_[static_cast<std::size_t>(i)];
+          drop.clear();
+          if (!in_core[static_cast<std::size_t>(v)]) return;
+          for (const graph::Neighbor& nb : spanner_.neighbors(v)) {
+            if (v < nb.to && in_core[static_cast<std::size_t>(nb.to)]) drop.push_back(nb.to);
+          }
+        },
+        [&](int i) {
+          const int v = ball[static_cast<std::size_t>(i)];
+          for (int u : scratch_drop_[static_cast<std::size_t>(i)]) {
+            spanner_.remove_edge(v, u);
+            ++st->spanner_edges_removed;
+            modified->push_back(v);
+            modified->push_back(u);
+          }
+        });
     for (const graph::Edge& e : local.edges()) {
       const int gu = ball[static_cast<std::size_t>(e.u)];
       const int gv = ball[static_cast<std::size_t>(e.v)];

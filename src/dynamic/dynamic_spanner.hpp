@@ -327,6 +327,11 @@ class DynamicSpanner {
   mutable std::vector<char> scratch_in_scope_; ///< 0 outside the current scope.
   mutable std::vector<int> scratch_scoped_;    ///< scope members (reset list).
   std::vector<int> scratch_old_nbrs_;          ///< update_ubg neighbor snapshot.
+  /// Per-ball-member drop lists for the two-phase per-event splice: slot i
+  /// holds the core-internal standing edges at ball[i], harvested in
+  /// parallel against the frozen spanner and committed in ball order. Outer
+  /// vector and inner capacities are reused across events (high-water mark).
+  std::vector<std::vector<int>> scratch_drop_;
 
   // ---- Batch ingestion scratch (apply_batch), reused across windows so a
   // warmed steady-state batch allocates nothing. Indexed per event / per

@@ -17,6 +17,10 @@
 #include "runtime/ledger.hpp"
 #include "runtime/network.hpp"
 
+namespace localspan::runtime {
+class WorkerPool;
+}
+
 namespace localspan::mis {
 
 struct LubyStats {
@@ -24,6 +28,13 @@ struct LubyStats {
   long long network_rounds = 0;  ///< simulator rounds (2 per iteration).
   long long messages = 0;        ///< total messages exchanged.
 };
+
+/// The shared deterministic priority draw: splitmix64 of the
+/// (seed, iteration, node) triple mapped to a uniform double in [0, 1).
+/// Every Luby variant — synchronous, asynchronous/reliable, and the
+/// pool-parallel harvester — consumes exactly this function, so they all
+/// break symmetry with identical priorities and produce identical sets.
+[[nodiscard]] double luby_priority(std::uint64_t seed, int iteration, int node);
 
 /// Compute an MIS of g with Luby's algorithm over a SyncNetwork. Per
 /// iteration every undecided node draws a value (seeded deterministically
@@ -45,5 +56,25 @@ struct LubyStats {
 /// the property `ReliableNetwork` provides over the adversarial simulator.
 [[nodiscard]] std::vector<int> luby_mis_on(runtime::Network& net, const graph::Graph& g,
                                            std::uint64_t seed, LubyStats* stats = nullptr);
+
+/// Pool-parallel Luby: the same protocol executed as two harvest/commit
+/// passes per iteration on the deterministic runtime instead of message by
+/// message on a simulator. Pass 1 harvests, per node, the frozen-state
+/// join decision (strict (priority, id)-minimum among still-active
+/// neighbors, priorities from luby_priority); pass 2 harvests which nodes a
+/// winner retires. Both passes read only the previous iteration's state and
+/// commit serially in node order via runtime::scatter_commit, so the result
+/// — the set AND the reported stats, which mirror the simulator's message
+/// accounting analytically (2 rounds per iteration; active-degree messages
+/// in round one, winner-degree in round two) — is **bit-identical to
+/// luby_mis(g, seed)** at every thread count. `pool` may be null (serial).
+///
+/// \param ledger optional ledger charged under section `section` with the
+///        same aggregate rounds/messages the synchronous transport charges.
+[[nodiscard]] std::vector<int> luby_mis_parallel(const graph::Graph& g, std::uint64_t seed,
+                                                 LubyStats* stats = nullptr,
+                                                 runtime::WorkerPool* pool = nullptr,
+                                                 runtime::RoundLedger* ledger = nullptr,
+                                                 const std::string& section = "mis");
 
 }  // namespace localspan::mis

@@ -25,6 +25,7 @@
 #include "graph/metrics.hpp"
 #include "graph/mst.hpp"
 #include "graph/sp_workspace.hpp"
+#include "mis/luby.hpp"
 #include "runtime/parallel.hpp"
 #include "scenario_matrix.hpp"
 
@@ -250,6 +251,80 @@ TEST_P(ParallelMatrixTest, StretchMetricsMatchSerialBitForBit) {
   EXPECT_EQ(serial_pair, gr::sampled_pair_stretch(inst.g, mst, 200, 11, 0, &pool));
 }
 
+TEST_P(ParallelMatrixTest, LubyMisMatchesSyncSimulatorAtEveryThreadCount) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const std::uint64_t seed = 41;
+  localspan::mis::LubyStats serial_stats;
+  const std::vector<int> serial = localspan::mis::luby_mis(inst.g, seed, &serial_stats);
+  // The pool-parallel harvester must reproduce both the set and the
+  // simulator's analytic round/message accounting, at every thread count
+  // including the pool-free serial fallback.
+  localspan::mis::LubyStats fallback_stats;
+  EXPECT_EQ(serial, localspan::mis::luby_mis_parallel(inst.g, seed, &fallback_stats));
+  EXPECT_EQ(serial_stats.iterations, fallback_stats.iterations);
+  EXPECT_EQ(serial_stats.network_rounds, fallback_stats.network_rounds);
+  EXPECT_EQ(serial_stats.messages, fallback_stats.messages);
+  for (int threads : {2, 4}) {
+    rt::WorkerPool pool(threads);
+    localspan::mis::LubyStats stats;
+    EXPECT_EQ(serial, localspan::mis::luby_mis_parallel(inst.g, seed, &stats, &pool))
+        << threads << " threads";
+    EXPECT_EQ(serial_stats.iterations, stats.iterations);
+    EXPECT_EQ(serial_stats.network_rounds, stats.network_rounds);
+    EXPECT_EQ(serial_stats.messages, stats.messages);
+  }
+}
+
+TEST_P(ParallelMatrixTest, BinGroupingMatchesSerialBitForBit) {
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const std::vector<gr::Edge> edges = inst.g.edges();
+  std::vector<double> lens;
+  lens.reserve(edges.size());
+  for (const gr::Edge& e : edges) lens.push_back(e.w);
+  const localspan::core::BinSchema schema(inst.config.alpha, 2.0, inst.g.n());
+  const auto serial = localspan::core::group_edges_by_bin(edges, schema, lens);
+  for (int threads : {2, 4}) {
+    rt::WorkerPool pool(threads);
+    const auto parallel = localspan::core::group_edges_by_bin(edges, schema, lens, &pool);
+    ASSERT_EQ(serial.size(), parallel.size()) << threads << " threads";
+    for (std::size_t b = 0; b < serial.size(); ++b) {
+      ASSERT_EQ(serial[b].size(), parallel[b].size()) << "bin " << b;
+      for (std::size_t k = 0; k < serial[b].size(); ++k) {
+        EXPECT_EQ(serial[b][k].u, parallel[b][k].u);
+        EXPECT_EQ(serial[b][k].v, parallel[b][k].v);
+        EXPECT_EQ(serial[b][k].w, parallel[b][k].w);  // bitwise
+      }
+    }
+  }
+}
+
+TEST_P(ParallelMatrixTest, QuerySelectionMatchesSerialBitForBit) {
+  namespace cd = localspan::core::detail;
+  const localspan::ubg::UbgInstance inst = GetParam().make();
+  const gr::CsrView csr(inst.g);
+  gr::DijkstraWorkspace ws;
+  const cl::ClusterCover cover = cl::sequential_cover(csr, 0.3, ws);
+  std::vector<cd::PhaseEdge> candidates;
+  for (const gr::Edge& e : inst.g.edges()) candidates.push_back({e.u, e.v, e.w, e.w});
+  int serial_max = 0;
+  const std::vector<cd::PhaseEdge> serial =
+      cd::select_query_edges(candidates, cover, 1.5, &serial_max);
+  for (int threads : {2, 4}) {
+    rt::WorkerPool pool(threads);
+    int parallel_max = 0;
+    const std::vector<cd::PhaseEdge> parallel =
+        cd::select_query_edges(candidates, cover, 1.5, &parallel_max, &pool);
+    EXPECT_EQ(serial_max, parallel_max) << threads << " threads";
+    ASSERT_EQ(serial.size(), parallel.size()) << threads << " threads";
+    for (std::size_t k = 0; k < serial.size(); ++k) {
+      EXPECT_EQ(serial[k].u, parallel[k].u);
+      EXPECT_EQ(serial[k].v, parallel[k].v);
+      EXPECT_EQ(serial[k].len, parallel[k].len);  // bitwise
+      EXPECT_EQ(serial[k].w, parallel[k].w);      // bitwise
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Matrix, ParallelMatrixTest,
                          ::testing::ValuesIn(localspan::testinfra::standard_matrix()),
                          ScenarioName());
@@ -295,7 +370,8 @@ std::vector<std::string> threaded_algorithms() {
 TEST(ParallelRegistry, ThreadsOptionIsDeclaredByParallelAlgorithms) {
   const std::vector<std::string> names = threaded_algorithms();
   // The adapters with parallel construction paths; update when one gains one.
-  EXPECT_EQ(names, (std::vector<std::string>{"energy", "ft-edge", "ft-vertex", "relaxed"}));
+  EXPECT_EQ(names, (std::vector<std::string>{"energy", "ft-edge", "ft-vertex", "relaxed",
+                                             "relaxed-dist"}));
 }
 
 class ParallelRegistryMatrixTest : public ::testing::TestWithParam<Scenario> {};
@@ -361,6 +437,45 @@ TEST(ParallelDynamic, ChurnMaintenanceIsBitIdenticalAcrossThreadCounts) {
   }
   EXPECT_EQ(serial.instance().g, parallel.instance().g);
 }
+
+/// Per-event repair equivalence across the full churn matrix: with the
+/// splice drop-phase now a harvest/commit pass on the engine pool, every
+/// single-event repair must still produce the serial spanner bit for bit.
+class ParallelChurnMatrixTest
+    : public ::testing::TestWithParam<localspan::testinfra::ChurnScenario> {};
+
+TEST_P(ParallelChurnMatrixTest, PerEventRepairMatchesSerialBitForBit) {
+  const localspan::testinfra::ChurnScenario& sc = GetParam();
+  const localspan::ubg::UbgInstance inst = sc.base.make();
+  const localspan::core::Params params =
+      localspan::core::Params::practical_params(0.5, sc.base.alpha);
+  const localspan::dynamic::ChurnTrace trace = sc.make_trace(inst);
+
+  localspan::dynamic::DynamicOptions serial_opts;
+  serial_opts.threads = 1;
+  localspan::dynamic::DynamicSpanner serial(inst, params, serial_opts);
+
+  localspan::dynamic::DynamicOptions par_opts;
+  par_opts.threads = 4;
+  localspan::dynamic::DynamicSpanner parallel(inst, params, par_opts);
+
+  ASSERT_EQ(serial.spanner(), parallel.spanner());
+  for (const localspan::dynamic::ChurnEvent& ev : trace.events) {
+    const localspan::dynamic::RepairStats a = serial.apply(ev);
+    const localspan::dynamic::RepairStats b = parallel.apply(ev);
+    ASSERT_EQ(serial.spanner(), parallel.spanner())
+        << sc.name() << " diverged at t=" << ev.time;
+    EXPECT_EQ(a.ball_size, b.ball_size);
+    EXPECT_EQ(a.spanner_edges_removed, b.spanner_edges_removed);
+    EXPECT_EQ(a.spanner_edges_added, b.spanner_edges_added);
+    EXPECT_EQ(a.fell_back, b.fell_back);
+  }
+  EXPECT_EQ(serial.instance().g, parallel.instance().g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Churn, ParallelChurnMatrixTest,
+                         ::testing::ValuesIn(localspan::testinfra::churn_matrix()),
+                         localspan::testinfra::ChurnScenarioName());
 
 TEST(ParallelDynamicAlloc, WarmCertifyAllocatesNothingAtFourThreads) {
   const localspan::ubg::UbgInstance inst =

@@ -6,7 +6,15 @@
 # Output shape (consumed by perf-trajectory tooling and CI uploads):
 #
 #   { "schema_version": 1, "count": N,
+#     "gates": [ {"artifact": "E15", "gate": "thread_scaling_speedup",
+#                 "verdict": "passed"}, ... ],
 #     "benches": [ <BENCH_E1.json payload>, ... ] }   # sorted by filename
+#
+# Every speedup gate records a machine-readable verdict in "gates":
+# "passed", or the reason it could not run — "skipped_1core" (fewer than 4
+# cores at bench time), "skipped_quick" (quick-mode problem sizes),
+# "skipped_no_nproc" (artifact predates nproc recording). A skip still
+# warns in the log; the verdict row is what trajectory tooling consumes.
 #
 # Fails hard on malformed artifacts — aggregation doubles as validation.
 
@@ -36,6 +44,18 @@ endfunction()
 if(NOT IS_DIRECTORY "${DIR}")
   message(FATAL_ERROR "collect_bench: '${DIR}' is not a directory")
 endif()
+
+# Append one machine-readable gate verdict (see the header comment) to the
+# summary's "gates" array. Callers inside functions must re-export
+# GATES_JSON to their own parent scope.
+macro(record_gate artifact gate verdict)
+  if(NOT GATES_JSON STREQUAL "")
+    string(APPEND GATES_JSON ",\n")
+  endif()
+  string(APPEND GATES_JSON
+    "{\"artifact\": \"${artifact}\", \"gate\": \"${gate}\", \"verdict\": \"${verdict}\"}")
+endmacro()
+set(GATES_JSON "")
 
 # Thread-scaling table validation (E12/E15): the artifact must contain a
 # table shaped (<size>, threads, <time>, speedup) — column 1 named "threads",
@@ -89,18 +109,22 @@ function(check_thread_scaling payload artifact)
     string(JSON nproc ERROR_VARIABLE nproc_err GET "${payload}" "meta" "nproc")
     string(JSON is_quick ERROR_VARIABLE quick_err GET "${payload}" "meta" "quick")
     if(NOT nproc_err STREQUAL "NOTFOUND")
+      record_gate("${artifact}" "thread_scaling_speedup" "skipped_no_nproc")
       message(WARNING "collect_bench: ${artifact} meta lacks nproc — skipping the "
-        "thread-scaling speedup gate")
+        "thread-scaling speedup gate (verdict skipped_no_nproc)")
     elseif(quick_err STREQUAL "NOTFOUND" AND is_quick STREQUAL "yes")
+      record_gate("${artifact}" "thread_scaling_speedup" "skipped_quick")
       message(WARNING "collect_bench: ${artifact} is a quick-mode artifact (problem sizes too "
-        "small to scale) — skipping the thread-scaling speedup gate")
+        "small to scale) — skipping the thread-scaling speedup gate (verdict skipped_quick)")
     elseif(nproc LESS 4)
+      record_gate("${artifact}" "thread_scaling_speedup" "skipped_1core")
       message(WARNING "collect_bench: ${artifact} ran on ${nproc} core(s) (< 4) — skipping the "
-        "thread-scaling speedup gate")
+        "thread-scaling speedup gate (verdict skipped_1core)")
     elseif(max_speedup_us LESS 1200000)
       message(FATAL_ERROR "collect_bench: ${artifact} best thread-scaling speedup is "
         "${max_speedup_us}/1000000 on ${nproc} cores — expected >= 1.2x over serial")
     else()
+      record_gate("${artifact}" "thread_scaling_speedup" "passed")
       message(STATUS "collect_bench: ${artifact} thread-scaling speedup gate passed "
         "(best ${max_speedup_us}/1000000 on ${nproc} cores)")
     endif()
@@ -109,6 +133,7 @@ function(check_thread_scaling payload artifact)
     message(FATAL_ERROR "collect_bench: ${artifact} lacks a thread-scaling table "
       "(column 1 'threads', last column 'speedup')")
   endif()
+  set(GATES_JSON "${GATES_JSON}" PARENT_SCOPE)
 endfunction()
 if(NOT DEFINED OUT)
   set(OUT "${DIR}/BENCH_SUMMARY.json")
@@ -412,8 +437,9 @@ foreach(artifact IN LISTS artifacts)
     endif()
     math(EXPR e16_last_row "${e16_rows} - 1")
     if(e16_quick STREQUAL "yes")
+      record_gate("E16" "oracle_speedup" "skipped_quick")
       message(WARNING "collect_bench: E16 is a quick-mode artifact (query counts too small "
-        "for a stable ratio) — skipping the oracle speedup gates")
+        "for a stable ratio) — skipping the oracle speedup gates (verdict skipped_quick)")
     else()
       # Full mode: >= 10x at n=2048, >= 100x at n=100000 (when the row ran).
       foreach(row_idx RANGE ${e16_last_row})
@@ -429,6 +455,7 @@ foreach(artifact IN LISTS artifacts)
             "${speedup_cell}x — expected >= 100x over per-query Dijkstra")
         endif()
       endforeach()
+      record_gate("E16" "oracle_speedup" "passed")
       message(STATUS "collect_bench: E16 oracle speedup gates passed (${e16_rows} rows)")
     endif()
     # The concurrent-serving table: identified by its 'p99 us' column; every
@@ -482,6 +509,16 @@ foreach(artifact IN LISTS artifacts)
   # every row — terminated=yes (the reliable protocol reached quiescence)
   # and identical=yes (the spanner is bit-identical to the sync build).
   if(id STREQUAL "E17")
+    # E15/E16/E17 record meta.nproc uniformly, so trajectory tooling can
+    # always key perf numbers on the core count of the run.
+    string(JSON e17_nproc ERROR_VARIABLE e17_nproc_err GET "${payload}" "meta" "nproc")
+    if(NOT e17_nproc_err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "collect_bench: E17 meta lacks nproc")
+    endif()
+    if(NOT e17_nproc MATCHES "^[0-9]+$" OR e17_nproc LESS 1)
+      message(FATAL_ERROR "collect_bench: E17 meta nproc is '${e17_nproc}', expected a "
+        "positive integer")
+    endif()
     string(JSON e17_cols LENGTH "${payload}" "tables" 0 "columns")
     math(EXPR e17_last_col "${e17_cols} - 1")
     set(e17_trans_col -1)
@@ -552,14 +589,26 @@ if(count EQUAL 0)
   message(FATAL_ERROR "collect_bench: no BENCH_*.json artifacts in ${DIR}")
 endif()
 
-file(WRITE "${OUT}" "{\n\"schema_version\": 1,\n\"count\": ${count},\n\"benches\": [\n${payloads}\n]\n}\n")
+file(WRITE "${OUT}" "{\n\"schema_version\": 1,\n\"count\": ${count},\n\"gates\": [\n${GATES_JSON}\n],\n\"benches\": [\n${payloads}\n]\n}\n")
 
-# Self-check: the summary must itself parse, with count entries.
+# Self-check: the summary must itself parse, with count entries and a
+# well-formed gates array (every verdict from the known vocabulary).
 file(READ "${OUT}" summary)
 string(JSON n_benches LENGTH "${summary}" "benches")
 if(NOT n_benches EQUAL count)
   message(FATAL_ERROR "collect_bench: summary self-check failed (${n_benches} != ${count})")
 endif()
+string(JSON n_gates LENGTH "${summary}" "gates")
+if(n_gates GREATER 0)
+  math(EXPR last_gate "${n_gates} - 1")
+  foreach(g_idx RANGE ${last_gate})
+    string(JSON g_verdict GET "${summary}" "gates" ${g_idx} "verdict")
+    if(NOT g_verdict MATCHES "^(passed|skipped_1core|skipped_quick|skipped_no_nproc)$")
+      message(FATAL_ERROR "collect_bench: gate ${g_idx} has unknown verdict '${g_verdict}'")
+    endif()
+  endforeach()
+endif()
+message(STATUS "collect_bench: recorded ${n_gates} speedup-gate verdict(s)")
 
 list(JOIN ids ", " id_list)
 message(STATUS "collect_bench: wrote ${OUT} (${count} benches: ${id_list})")
